@@ -1,0 +1,74 @@
+// Command qeibench regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	qeibench [-scale small|full] [-exp all|fig1|tab1|tab2|fig7|fig8|fig9|fig10|fig11|tab3|fig12|noc] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qei"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "experiment scale: small or full")
+	expFlag := flag.String("exp", "all", "experiment to run: all, fig1, tab1, tab2, fig7, fig8, fig9, fig10, fig11, tab3, fig12, noc")
+	csvFlag := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	scale := qei.Small
+	switch *scaleFlag {
+	case "small":
+	case "full":
+		scale = qei.FullScale
+	default:
+		fmt.Fprintf(os.Stderr, "qeibench: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	type experiment struct {
+		name string
+		run  func() (qei.TableData, error)
+	}
+	experiments := []experiment{
+		{"fig1", func() (qei.TableData, error) { return qei.Fig1QueryTimeShare(scale) }},
+		{"tab1", func() (qei.TableData, error) { return qei.TabI(), nil }},
+		{"tab2", func() (qei.TableData, error) { return qei.TabII(), nil }},
+		{"fig7", func() (qei.TableData, error) { return qei.Fig7Speedup(scale) }},
+		{"fig8", func() (qei.TableData, error) { return qei.Fig8LatencySweep(scale) }},
+		{"fig9", func() (qei.TableData, error) { return qei.Fig9EndToEnd(scale) }},
+		{"fig10", func() (qei.TableData, error) { return qei.Fig10TupleSpace(scale) }},
+		{"fig11", func() (qei.TableData, error) { return qei.Fig11InstrReduction(scale) }},
+		{"tab3", func() (qei.TableData, error) { return qei.TabIII(), nil }},
+		{"fig12", func() (qei.TableData, error) { return qei.Fig12DynamicPower(scale) }},
+		{"noc", func() (qei.TableData, error) { return qei.NoCUtilization(scale) }},
+	}
+
+	want := strings.ToLower(*expFlag)
+	ran := 0
+	for _, e := range experiments {
+		if want != "all" && want != e.name {
+			continue
+		}
+		t, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qeibench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		if *csvFlag {
+			fmt.Printf("# %s\n%s\n", e.name, t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "qeibench: unknown experiment %q\n", *expFlag)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,47 @@
+// Command qeiprof reproduces the Fig. 1 profiling study: for each cloud
+// workload it reports how much of the CPU time goes to data-query
+// operations, plus a frontend/backend characterization of the query code
+// (the paper's VTune top-down observations from Sec. II-A).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qei/internal/workload"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "scale: small or full")
+	flag.Parse()
+
+	var benches []workload.Benchmark
+	if *scaleFlag == "full" {
+		benches = workload.All()
+	} else {
+		benches = workload.AllSmall()
+	}
+
+	fmt.Printf("%-10s %-12s %-14s %-14s %-12s\n",
+		"workload", "query_share", "mispredicts/q", "loads/query", "IPC(ROI)")
+	for _, b := range benches {
+		share, err := workload.ROIShare(b)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qeiprof: %s: %v\n", b.Name(), err)
+			os.Exit(1)
+		}
+		roi, err := workload.RunBaseline(b, workload.ROIOnly)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qeiprof: %s: %v\n", b.Name(), err)
+			os.Exit(1)
+		}
+		q := float64(roi.Queries)
+		fmt.Printf("%-10s %10.1f%% %14.2f %14.1f %12.2f\n",
+			b.Name(), share*100,
+			float64(roi.Core.Mispredicts)/q,
+			float64(roi.Core.Loads)/q,
+			roi.Core.IPC())
+	}
+	fmt.Println("\npaper band (Fig. 1): query operations take 23%-44% of CPU time")
+}

@@ -1,0 +1,170 @@
+// Command qeisim runs one workload under one configuration and prints a
+// detailed report: cycles, instruction counts, cache/TLB behaviour,
+// accelerator activity, and verification status.
+//
+// Usage:
+//
+//	qeisim -workload dpdk|jvm|rocksdb|snort|flann|tuple5|tuple10|tuple15 \
+//	       -scheme software|core|cha-tlb|cha-notlb|device-direct|device-indirect \
+//	       [-mode full|roi|nonroi] [-nb] [-scale small|full] [-warm]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qei/internal/scheme"
+	"qei/internal/workload"
+)
+
+func main() {
+	wlFlag := flag.String("workload", "dpdk", "workload: dpdk, jvm, rocksdb, snort, flann, tuple5, tuple10, tuple15")
+	schemeFlag := flag.String("scheme", "core", "scheme: software, core, cha-tlb, cha-notlb, device-direct, device-indirect")
+	modeFlag := flag.String("mode", "full", "mode: full, roi, nonroi")
+	nbFlag := flag.Bool("nb", false, "use non-blocking QUERY_NB (batch 32)")
+	scaleFlag := flag.String("scale", "small", "scale: small or full")
+	warmFlag := flag.Bool("warm", true, "run a warmup pass before measuring")
+	coresFlag := flag.Int("cores", 1, "issue the query stream from this many cores (scalability mode)")
+	flag.Parse()
+
+	full := *scaleFlag == "full"
+	var bench workload.Benchmark
+	switch *wlFlag {
+	case "dpdk":
+		bench = pick(full, workload.DefaultDPDK(), workload.SmallDPDK())
+	case "jvm":
+		bench = pick(full, workload.DefaultJVM(), workload.SmallJVM())
+	case "rocksdb":
+		bench = pick(full, workload.DefaultRocksDB(), workload.SmallRocksDB())
+	case "snort":
+		bench = pick(full, workload.DefaultSnort(), workload.SmallSnort())
+	case "flann":
+		bench = pick(full, workload.DefaultFLANN(), workload.SmallFLANN())
+	case "tuple5":
+		bench = pick(full, workload.DefaultTupleSpace(5), workload.SmallTupleSpace(5))
+	case "tuple10":
+		bench = pick(full, workload.DefaultTupleSpace(10), workload.SmallTupleSpace(10))
+	case "tuple15":
+		bench = pick(full, workload.DefaultTupleSpace(15), workload.SmallTupleSpace(15))
+	default:
+		fail("unknown workload %q", *wlFlag)
+	}
+
+	mode := workload.Full
+	switch *modeFlag {
+	case "full":
+	case "roi":
+		mode = workload.ROIOnly
+	case "nonroi":
+		mode = workload.NonROIOnly
+	default:
+		fail("unknown mode %q", *modeFlag)
+	}
+
+	var opts []workload.RunOption
+	if *warmFlag {
+		opts = append(opts, workload.WithWarmup())
+	}
+
+	if *coresFlag > 1 {
+		runMultiCore(bench, *schemeFlag, *coresFlag)
+		return
+	}
+
+	var run workload.Run
+	var err error
+	switch *schemeFlag {
+	case "software":
+		run, err = workload.RunBaseline(bench, mode, opts...)
+	default:
+		var k scheme.Kind
+		switch *schemeFlag {
+		case "core":
+			k = scheme.CoreIntegrated
+		case "cha-tlb":
+			k = scheme.CHATLB
+		case "cha-notlb":
+			k = scheme.CHANoTLB
+		case "device-direct":
+			k = scheme.DeviceDirect
+		case "device-indirect":
+			k = scheme.DeviceIndirect
+		default:
+			fail("unknown scheme %q", *schemeFlag)
+		}
+		if *nbFlag {
+			run, err = workload.RunQEINonBlocking(bench, k, 32, opts...)
+		} else {
+			run, err = workload.RunQEI(bench, k, mode, opts...)
+		}
+	}
+	if err != nil {
+		fail("run failed: %v", err)
+	}
+
+	fmt.Printf("workload   %s\n", run.Name)
+	fmt.Printf("scheme     %s\n", run.Scheme)
+	fmt.Printf("queries    %d (mismatches: %d)\n", run.Queries, run.Mismatches)
+	fmt.Printf("cycles     %d\n", run.Cycles)
+	if run.Queries > 0 {
+		fmt.Printf("cyc/query  %.1f\n", float64(run.Cycles)/float64(run.Queries))
+	}
+	fmt.Printf("core       %d instrs, IPC %.2f, %d loads, %d mispredicts\n",
+		run.Core.Instructions, run.Core.IPC(), run.Core.Loads, run.Core.Mispredicts)
+	fmt.Printf("memory     L1 %d, L2 %d, LLC %d, DRAM %d accesses; %d NoC bytes\n",
+		run.L1Accesses, run.L2Accesses, run.LLCAccesses, run.DRAMAccesses, run.NoCBytes)
+	fmt.Printf("tlb        %d lookups, %d walks\n", run.TLBLookups, run.PageWalks)
+	if run.Accel != nil {
+		a := run.Accel
+		fmt.Printf("qei        %d queries, %d transitions, %d lines, %d local / %d remote compares\n",
+			a.Queries, a.Transitions, a.MemLines, a.LocalCompares, a.RemoteCompares)
+		fmt.Printf("qei        occupancy %.2f, %d QST-stall cycles, %d exceptions\n",
+			a.Occupancy(), a.QSTStallCycles, a.Exceptions)
+	}
+	if run.Mismatches != 0 {
+		os.Exit(1)
+	}
+}
+
+func runMultiCore(bench workload.Benchmark, schemeName string, cores int) {
+	var k scheme.Kind
+	switch schemeName {
+	case "core":
+		k = scheme.CoreIntegrated
+	case "cha-tlb":
+		k = scheme.CHATLB
+	case "cha-notlb":
+		k = scheme.CHANoTLB
+	case "device-direct":
+		k = scheme.DeviceDirect
+	case "device-indirect":
+		k = scheme.DeviceIndirect
+	default:
+		fail("multi-core mode needs an accelerator scheme, got %q", schemeName)
+	}
+	r, err := workload.RunMultiCore(bench, k, cores)
+	if err != nil {
+		fail("multi-core run failed: %v", err)
+	}
+	fmt.Printf("workload    %s\n", bench.Name())
+	fmt.Printf("scheme      %s x %d cores\n", r.Scheme, r.Cores)
+	fmt.Printf("queries     %d (mismatches: %d)\n", r.Queries, r.Mismatches)
+	fmt.Printf("makespan    %d cycles\n", r.Makespan)
+	fmt.Printf("throughput  %.2f queries/kilocycle\n", r.Throughput)
+	if r.Mismatches != 0 {
+		os.Exit(1)
+	}
+}
+
+func pick(full bool, f, s workload.Benchmark) workload.Benchmark {
+	if full {
+		return f
+	}
+	return s
+}
+
+func fail(format string, v ...any) {
+	fmt.Fprintf(os.Stderr, "qeisim: "+format+"\n", v...)
+	os.Exit(2)
+}

@@ -1,0 +1,87 @@
+// Command qeitrace records the accelerator's query timeline for a short
+// run and writes it as Chrome tracing JSON (load in chrome://tracing or
+// Perfetto). Each row is one QST slot; the staggered spans show the
+// out-of-order, pipelined CFA execution of Sec. IV-B.
+//
+// Usage:
+//
+//	qeitrace [-queries 64] [-scheme core|cha-tlb|...] [-o trace.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"qei"
+)
+
+func main() {
+	nFlag := flag.Int("queries", 64, "queries to trace")
+	schemeFlag := flag.String("scheme", "core", "integration scheme")
+	outFlag := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var sch qei.Scheme
+	switch *schemeFlag {
+	case "core":
+		sch = qei.CoreIntegrated
+	case "cha-tlb":
+		sch = qei.CHATLB
+	case "cha-notlb":
+		sch = qei.CHANoTLB
+	case "device-direct":
+		sch = qei.DeviceDirect
+	case "device-indirect":
+		sch = qei.DeviceIndirect
+	default:
+		fmt.Fprintf(os.Stderr, "qeitrace: unknown scheme %q\n", *schemeFlag)
+		os.Exit(2)
+	}
+
+	sys := qei.NewSystem(sch)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([][]byte, 2048)
+	vals := make([]uint64, len(keys))
+	for i := range keys {
+		keys[i] = make([]byte, 32)
+		rng.Read(keys[i])
+		vals[i] = uint64(i) + 1
+	}
+	table, err := sys.BuildSkipList(keys, vals)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qeitrace: %v\n", err)
+		os.Exit(1)
+	}
+
+	sys.EnableTracing()
+	// Issue everything at the same cycle so the QST fills and the viewer
+	// shows the ten-deep overlap.
+	handles := make([]qei.AsyncHandle, 0, *nFlag)
+	for i := 0; i < *nFlag; i++ {
+		h, err := sys.QueryAsync(table, keys[rng.Intn(len(keys))])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qeitrace: %v\n", err)
+			os.Exit(1)
+		}
+		handles = append(handles, h)
+	}
+	for _, h := range handles {
+		if _, err := sys.Wait(h); err != nil {
+			fmt.Fprintf(os.Stderr, "qeitrace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	doc := sys.ExportTrace()
+	if *outFlag == "" {
+		fmt.Print(doc)
+		return
+	}
+	if err := os.WriteFile(*outFlag, []byte(doc), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "qeitrace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d query spans to %s\n", *nFlag, *outFlag)
+}

@@ -1,0 +1,436 @@
+package qei
+
+import (
+	"fmt"
+	"strings"
+
+	"qei/internal/power"
+	"qei/internal/scheme"
+	"qei/internal/stats"
+	"qei/internal/workload"
+)
+
+// Scale selects experiment sizing: Small for quick runs and tests, Full
+// for the paper-scale configurations of Sec. VI-B.
+type Scale int
+
+const (
+	// Small shrinks structure populations and query counts for fast runs.
+	Small Scale = iota
+	// FullScale uses the paper's structure sizes.
+	FullScale
+)
+
+func benchesFor(s Scale) []workload.Benchmark {
+	if s == FullScale {
+		return workload.All()
+	}
+	return workload.AllSmall()
+}
+
+// TableData is a rendered experiment result: structured rows plus a
+// preformatted text table.
+type TableData struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// String renders the table with aligned columns.
+func (t TableData) String() string {
+	tab := stats.NewTable(t.Title, t.Headers...)
+	for _, r := range t.Rows {
+		cells := make([]any, len(r))
+		for i, c := range r {
+			cells[i] = c
+		}
+		tab.AddRow(cells...)
+	}
+	return tab.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t TableData) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func f(format string, v ...any) string { return fmt.Sprintf(format, v...) }
+
+// Fig1QueryTimeShare reproduces Fig. 1: the percentage of CPU time spent
+// in data-query operations for each workload (paper band: 23%–44%).
+func Fig1QueryTimeShare(s Scale) (TableData, error) {
+	t := TableData{
+		Title:   "Fig. 1 — query share of CPU time (paper: 23%-44%)",
+		Headers: []string{"workload", "query_share_pct"},
+	}
+	for _, b := range benchesFor(s) {
+		share, err := workload.ROIShare(b)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{b.Name(), f("%.1f", share*100)})
+	}
+	return t, nil
+}
+
+// TabI reproduces Table I: the qualitative comparison of integration
+// schemes.
+func TabI() TableData {
+	t := TableData{
+		Title: "Tab. I — comparison of integration schemes",
+		Headers: []string{"scheme", "accel-core_cyc", "accel-data_cyc", "hw_cost",
+			"mem_mgmt", "noc_hotspot", "private$_pollution", "scalability"},
+	}
+	for _, r := range scheme.TableI() {
+		t.Rows = append(t.Rows, []string{
+			r.Scheme, r.AccelCoreCycles, r.AccelDataCycles, r.HardwareCost,
+			r.MemMgmt, r.NoCHotspot, r.PrivatePollute, r.Scalability,
+		})
+	}
+	return t
+}
+
+// TabII reproduces Table II: the simulated CPU configuration.
+func TabII() TableData {
+	t := TableData{
+		Title:   "Tab. II — simulated CPU model configuration",
+		Headers: []string{"item", "configuration"},
+	}
+	rows := [][2]string{
+		{"Cores", "24 OoO cores, 2.5 GHz"},
+		{"Caches", "8-way 32KB L1D/L1I, 16-way 1MB L2, 11-way 33MB shared LLC (24 slices)"},
+		{"LQ/SQ/ROB entries", "72/56/224"},
+		{"Memory controllers", "6 DDR4-2666 channels"},
+		{"QEI accelerator", "five ALUs per DPU; two comparators per CHA (CHA/Core-integrated); ten per DPU (Device)"},
+		{"NoC", "6x4 mesh, XY routing"},
+		{"Process", "22 nm"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r[0], r[1]})
+	}
+	return t
+}
+
+// roiCycles computes the in-context ROI cycle count of a run pair: the
+// full run minus the non-ROI-only run of the same benchmark (the paper's
+// "performance improvement of such ROIs", Sec. VI-B).
+func roiCycles(full, nonROI uint64) uint64 {
+	if full <= nonROI {
+		return 1
+	}
+	return full - nonROI
+}
+
+// Fig7Speedup reproduces Fig. 7: per-workload lookup speedup of every
+// integration scheme over the software baseline.
+func Fig7Speedup(s Scale) (TableData, error) {
+	t := TableData{
+		Title:   "Fig. 7 — speedup of lookup operations (paper: 6.5x-11.2x, CHA-TLB up to 12.7x)",
+		Headers: []string{"workload", "scheme", "speedup_x"},
+	}
+	for _, b := range benchesFor(s) {
+		sw, err := workload.RunBaseline(b, workload.Full, workload.WithWarmup())
+		if err != nil {
+			return t, err
+		}
+		non, err := workload.RunBaseline(b, workload.NonROIOnly, workload.WithWarmup())
+		if err != nil {
+			return t, err
+		}
+		swROI := roiCycles(sw.Cycles, non.Cycles)
+		for _, k := range scheme.Kinds() {
+			hw, err := workload.RunQEI(b, k, workload.Full, workload.WithWarmup())
+			if err != nil {
+				return t, err
+			}
+			if hw.Mismatches != 0 {
+				return t, fmt.Errorf("qei: %s/%s produced %d wrong results", b.Name(), k, hw.Mismatches)
+			}
+			sp := float64(swROI) / float64(roiCycles(hw.Cycles, non.Cycles))
+			t.Rows = append(t.Rows, []string{b.Name(), k.String(), f("%.2f", sp)})
+		}
+	}
+	return t, nil
+}
+
+// Fig8LatencySweep reproduces Fig. 8: the Device-indirect scheme's
+// sensitivity to the accelerator's data-access latency (50–2000 cycles).
+func Fig8LatencySweep(s Scale) (TableData, error) {
+	t := TableData{
+		Title:   "Fig. 8 — Device-indirect latency sensitivity",
+		Headers: []string{"workload", "access_latency_cyc", "speedup_x"},
+	}
+	latencies := []uint64{50, 100, 300, 600, 1000, 2000}
+	for _, b := range benchesFor(s) {
+		sw, err := workload.RunBaseline(b, workload.Full, workload.WithWarmup())
+		if err != nil {
+			return t, err
+		}
+		non, err := workload.RunBaseline(b, workload.NonROIOnly, workload.WithWarmup())
+		if err != nil {
+			return t, err
+		}
+		swROI := roiCycles(sw.Cycles, non.Cycles)
+		for _, lat := range latencies {
+			hw, err := workload.RunQEIWithParams(b, deviceIndirectWith(lat), workload.Full, workload.WithWarmup())
+			if err != nil {
+				return t, err
+			}
+			sp := float64(swROI) / float64(roiCycles(hw.Cycles, non.Cycles))
+			t.Rows = append(t.Rows, []string{b.Name(), f("%d", lat), f("%.2f", sp)})
+		}
+	}
+	return t, nil
+}
+
+func deviceIndirectWith(lat uint64) scheme.Params {
+	p := scheme.ForKind(scheme.DeviceIndirect)
+	p.ExtraDataLatency = lat
+	return p
+}
+
+// Fig9EndToEnd reproduces Fig. 9: end-to-end query/packet-per-second
+// improvement of the full applications (paper: 36.2%–66.7%).
+func Fig9EndToEnd(s Scale) (TableData, error) {
+	t := TableData{
+		Title:   "Fig. 9 — end-to-end throughput improvement (paper: 36.2%-66.7%)",
+		Headers: []string{"workload", "scheme", "improvement_pct"},
+	}
+	for _, b := range benchesFor(s) {
+		sw, err := workload.RunBaseline(b, workload.Full, workload.WithWarmup())
+		if err != nil {
+			return t, err
+		}
+		for _, k := range []scheme.Kind{scheme.CHATLB, scheme.CHANoTLB, scheme.CoreIntegrated} {
+			hw, err := workload.RunQEI(b, k, workload.Full, workload.WithWarmup())
+			if err != nil {
+				return t, err
+			}
+			imp := (float64(sw.Cycles)/float64(hw.Cycles) - 1) * 100
+			t.Rows = append(t.Rows, []string{b.Name(), k.String(), f("%.1f", imp)})
+		}
+	}
+	return t, nil
+}
+
+// Fig10TupleSpace reproduces Fig. 10: tuple-space search with QUERY_NB
+// over 5/10/15 tuples, per scheme.
+func Fig10TupleSpace(s Scale) (TableData, error) {
+	t := TableData{
+		Title:   "Fig. 10 — tuple-space search speedup with QUERY_NB",
+		Headers: []string{"tuples", "scheme", "speedup_x"},
+	}
+	for _, tuples := range []int{5, 10, 15} {
+		var b workload.Benchmark
+		if s == FullScale {
+			b = workload.DefaultTupleSpace(tuples)
+		} else {
+			b = workload.SmallTupleSpace(tuples)
+		}
+		sw, err := workload.RunBaseline(b, workload.Full, workload.WithWarmup())
+		if err != nil {
+			return t, err
+		}
+		for _, k := range scheme.Kinds() {
+			hw, err := workload.RunQEINonBlocking(b, k, 32, workload.WithWarmup())
+			if err != nil {
+				return t, err
+			}
+			if hw.Mismatches != 0 {
+				return t, fmt.Errorf("qei: tuple-%d/%s produced %d wrong results", tuples, k, hw.Mismatches)
+			}
+			sp := float64(sw.Cycles) / float64(hw.Cycles)
+			t.Rows = append(t.Rows, []string{f("%d", tuples), k.String(), f("%.2f", sp)})
+		}
+	}
+	return t, nil
+}
+
+// Fig11InstrReduction reproduces Fig. 11: dynamic instructions executed
+// by the core in the ROI, software vs QEI.
+func Fig11InstrReduction(s Scale) (TableData, error) {
+	t := TableData{
+		Title:   "Fig. 11 — dynamic instruction count in ROIs",
+		Headers: []string{"workload", "software_instrs", "qei_instrs", "reduction_pct"},
+	}
+	for _, b := range benchesFor(s) {
+		sw, err := workload.RunBaseline(b, workload.ROIOnly)
+		if err != nil {
+			return t, err
+		}
+		hw, err := workload.RunQEI(b, scheme.CoreIntegrated, workload.ROIOnly)
+		if err != nil {
+			return t, err
+		}
+		red := (1 - float64(hw.Core.Instructions)/float64(sw.Core.Instructions)) * 100
+		t.Rows = append(t.Rows, []string{
+			b.Name(),
+			f("%d", sw.Core.Instructions),
+			f("%d", hw.Core.Instructions),
+			f("%.1f", red),
+		})
+	}
+	return t, nil
+}
+
+// TabIII reproduces Table III: area and static power of the three QEI
+// configurations at 22 nm.
+func TabIII() TableData {
+	t := TableData{
+		Title:   "Tab. III — area and static power of QEI",
+		Headers: []string{"configuration", "area_mm2", "paper_mm2", "static_mW", "paper_mW"},
+	}
+	for _, r := range power.Default().TableIII() {
+		t.Rows = append(t.Rows, []string{
+			r.Config,
+			f("%.4f", r.AreaMM2), f("%.4f", r.PaperAreaMM2),
+			f("%.4f", r.StaticMW), f("%.4f", r.PaperStaticMW),
+		})
+	}
+	return t
+}
+
+// Fig12DynamicPower reproduces Fig. 12: QEI's per-query dynamic energy
+// relative to the software baseline (paper: >60% reduction).
+func Fig12DynamicPower(s Scale) (TableData, error) {
+	t := TableData{
+		Title:   "Fig. 12 — QEI dynamic energy per query vs software (paper: <40%)",
+		Headers: []string{"workload", "scheme", "energy_pct_of_software"},
+	}
+	model := power.Default()
+	for _, b := range benchesFor(s) {
+		sw, err := workload.RunBaseline(b, workload.ROIOnly, workload.WithWarmup())
+		if err != nil {
+			return t, err
+		}
+		swE := model.DynamicEnergyNJ(power.Activity{
+			Instructions: sw.Core.Instructions,
+			Mispredicts:  sw.Core.Mispredicts,
+			L1Accesses:   sw.L1Accesses,
+			L2Accesses:   sw.L2Accesses,
+			LLCAccesses:  sw.LLCAccesses,
+			DRAMAccesses: sw.DRAMAccesses,
+			NoCBytes:     sw.NoCBytes,
+			TLBLookups:   sw.TLBLookups,
+			PageWalks:    sw.PageWalks,
+		}) / float64(sw.Queries)
+		for _, k := range []scheme.Kind{scheme.CHATLB, scheme.CHANoTLB, scheme.DeviceDirect, scheme.DeviceIndirect, scheme.CoreIntegrated} {
+			hw, err := workload.RunQEI(b, k, workload.ROIOnly, workload.WithWarmup())
+			if err != nil {
+				return t, err
+			}
+			// Lines streamed by CHA comparators are cheaper than full
+			// LLC accesses; split them out of the LLC count.
+			cmpLines := hw.Accel.CompareBytes / 64
+			llc := hw.LLCAccesses
+			if cmpLines > llc {
+				cmpLines = llc
+			}
+			hwE := model.DynamicEnergyNJ(power.Activity{
+				Instructions:        hw.Core.Instructions,
+				Mispredicts:         hw.Core.Mispredicts,
+				Transitions:         hw.Accel.Transitions,
+				Compare8Bs:          (hw.Accel.CompareBytes + 7) / 8,
+				ComparatorLineReads: cmpLines,
+				Hash8Bs:             hw.Accel.HashOps * 2,
+				L1Accesses:          hw.L1Accesses,
+				L2Accesses:          hw.L2Accesses,
+				LLCAccesses:         llc - cmpLines,
+				DRAMAccesses:        hw.DRAMAccesses,
+				NoCBytes:            hw.NoCBytes,
+				TLBLookups:          hw.TLBLookups,
+				PageWalks:           hw.PageWalks,
+			}) / float64(hw.Queries)
+			t.Rows = append(t.Rows, []string{b.Name(), k.String(), f("%.1f", hwE/swE*100)})
+		}
+	}
+	return t, nil
+}
+
+// TailLatency runs the open-loop latency study (an extension of the
+// paper's Sec. II-B QoS argument): queries arrive at a fixed rate and
+// per-query latency percentiles are recorded. Device schemes show their
+// long access latency directly in the distribution; overload pushes the
+// tail out for every scheme.
+func TailLatency(s Scale) (TableData, error) {
+	t := TableData{
+		Title:   "Extension — open-loop query latency (cycles)",
+		Headers: []string{"scheme", "interarrival", "avg", "p50", "p95", "p99"},
+	}
+	var b workload.Benchmark = workload.SmallDPDK()
+	queries := 150
+	if s == FullScale {
+		b = workload.DefaultDPDK()
+		queries = 1000
+	}
+	for _, k := range []scheme.Kind{scheme.CoreIntegrated, scheme.CHATLB, scheme.DeviceIndirect} {
+		for _, gap := range []uint64{2000, 200, 20} {
+			p, err := workload.OpenLoopLatency(b, k, gap, queries)
+			if err != nil {
+				return t, err
+			}
+			t.Rows = append(t.Rows, []string{
+				k.String(), f("%d", gap), f("%.0f", p.AvgLatency),
+				f("%d", p.P50), f("%d", p.P95), f("%d", p.P99),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Scalability runs the multi-core study behind Tab. I's Scalability
+// column: the same aggregate query stream split across 1/2/4/8 cores.
+// Core-integrated accelerators are private per core; CHA schemes share
+// 24 distributed instances; device schemes funnel into one accelerator.
+func Scalability(s Scale) (TableData, error) {
+	t := TableData{
+		Title:   "Tab. I scalability — aggregate throughput (queries/kilocycle)",
+		Headers: []string{"scheme", "cores", "throughput_q_per_kcyc"},
+	}
+	var b workload.Benchmark = workload.SmallDPDK()
+	if s == FullScale {
+		b = workload.DefaultDPDK()
+	}
+	for _, k := range []scheme.Kind{scheme.CoreIntegrated, scheme.CHATLB, scheme.DeviceDirect, scheme.DeviceIndirect} {
+		for _, cores := range []int{1, 2, 4, 8} {
+			r, err := workload.RunMultiCore(b, k, cores)
+			if err != nil {
+				return t, err
+			}
+			if r.Mismatches != 0 {
+				return t, fmt.Errorf("qei: scalability %s/%d produced %d wrong results", k, cores, r.Mismatches)
+			}
+			t.Rows = append(t.Rows, []string{k.String(), f("%d", cores), f("%.2f", r.Throughput)})
+		}
+	}
+	return t, nil
+}
+
+// NoCUtilization checks the Sec. V claim that one QEI accelerator can
+// saturate a meaningful share (~8%) of the mesh NoC bandwidth.
+func NoCUtilization(s Scale) (TableData, error) {
+	t := TableData{
+		Title:   "Sec. V — NoC bandwidth utilization of one QEI accelerator",
+		Headers: []string{"workload", "scheme", "peak_link_util_pct", "mean_util_pct"},
+	}
+	var b workload.Benchmark = workload.SmallFLANN()
+	if s == FullScale {
+		b = workload.DefaultFLANN()
+	}
+	for _, k := range []scheme.Kind{scheme.CoreIntegrated, scheme.DeviceIndirect} {
+		hw, err := workload.RunQEIUtilization(b, k)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{b.Name(), k.String(),
+			f("%.1f", hw.PeakLinkUtil*100), f("%.1f", hw.MeanUtil*100)})
+	}
+	return t, nil
+}

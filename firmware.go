@@ -1,0 +1,114 @@
+package qei
+
+import (
+	"fmt"
+
+	"qei/internal/cfa"
+	"qei/internal/dstruct"
+	"qei/internal/mem"
+)
+
+// Firmware extension API. The CEE is microcoded: new data-structure
+// types install as firmware without hardware changes (Sec. IV-B). This
+// file re-exports the CFA vocabulary so applications can define their
+// own query automata against the public API and register them on a
+// System — see examples/lpm_router for a complete longest-prefix-match
+// routing table added this way.
+
+// Firmware is a CFA program: the microcode for one data-structure type.
+// Implementations provide a type code (the header's type byte), a state
+// count (≤ 254), and a Step function mapping (query, state) to the
+// micro-operations of the transition and the next state.
+type Firmware = cfa.Program
+
+// FirmwareQuery is the per-query context handed to Step: the parsed
+// header, the staged key, simulated-memory access for functional reads,
+// and scratch cursor fields (Node, AltNode, Level, Pos) that live in the
+// QST entry's intermediate-data field.
+type FirmwareQuery = cfa.Query
+
+// FirmwareRequest is a transition's outcome.
+type FirmwareRequest = cfa.Request
+
+// FirmwareState identifies a CFA state (one byte in the QST).
+type FirmwareState = cfa.StateID
+
+// Addr is a virtual address in the simulated address space — the type of
+// FirmwareQuery's Node/AltNode cursor fields and of every pointer stored
+// inside simulated structures.
+type Addr = mem.VAddr
+
+// FirmwareOp is one micro-operation of the DPU vocabulary.
+type FirmwareOp = cfa.Op
+
+// Reserved firmware states.
+const (
+	// FirmwareStart is the entry state.
+	FirmwareStart = cfa.StateStart
+	// FirmwareDone and FirmwareException are terminal.
+	FirmwareDone      = cfa.StateDone
+	FirmwareException = cfa.StateException
+)
+
+// FirmwareMemRead builds a memory micro-op covering [addr, addr+bytes).
+func FirmwareMemRead(addr, bytes uint64) FirmwareOp {
+	return cfa.MemRead(mem.VAddr(addr), bytes)
+}
+
+// FirmwareCompare builds a comparison micro-op over bytes at addr.
+func FirmwareCompare(addr, bytes uint64) FirmwareOp {
+	return cfa.Compare(mem.VAddr(addr), bytes)
+}
+
+// FirmwareALU builds an arithmetic micro-op of the given width.
+func FirmwareALU(bytes uint64) FirmwareOp { return cfa.ALU(bytes) }
+
+// FirmwareHash builds a hashing-unit micro-op over bytes of key.
+func FirmwareHash(bytes uint64) FirmwareOp { return cfa.HashOp(bytes) }
+
+// FirmwareContinue builds a non-terminal transition outcome.
+func FirmwareContinue(next FirmwareState, parallel bool, ops ...FirmwareOp) FirmwareRequest {
+	return cfa.Continue(next, parallel, ops...)
+}
+
+// FirmwareFinish builds a successful terminal outcome.
+func FirmwareFinish(found bool, value uint64, ops ...FirmwareOp) FirmwareRequest {
+	return cfa.Finish(found, value, ops...)
+}
+
+// FirmwareFail builds an exception outcome (Sec. IV-D).
+func FirmwareFail(err error) FirmwareRequest { return cfa.Fail(err) }
+
+// RegisterFirmware installs a new CFA on this system's CEE, validating
+// the hardware constraints (unique type code, ≤ 254 states). Queries
+// against headers carrying the firmware's type code execute it.
+func (s *System) RegisterFirmware(p Firmware) error {
+	return s.reg.Register(p)
+}
+
+// WriteTableHeader lays out a Fig. 4 metadata header for a
+// custom-firmware structure whose body the application built with Write,
+// and returns a Table handle for Query. kind is a label for diagnostics;
+// typeCode selects the firmware; root points at the structure; keyLen is
+// the stored key length; aux and aux2 are firmware-specific parameters.
+func (s *System) WriteTableHeader(kind string, typeCode uint8, root uint64, keyLen int, size, aux, aux2 uint64) (Table, error) {
+	if typeCode == 0 {
+		return Table{}, fmt.Errorf("qei: type code 0 is reserved")
+	}
+	if keyLen <= 0 || keyLen > 0xffff {
+		return Table{}, fmt.Errorf("qei: key length %d out of range", keyLen)
+	}
+	hdr := dstruct.WriteHeader(s.m.AS, dstruct.Header{
+		Root:   mem.VAddr(root),
+		Type:   typeCode,
+		KeyLen: uint16(keyLen),
+		Size:   size,
+		Aux:    aux,
+		Aux2:   aux2,
+	})
+	return Table{header: hdr, Kind: kind, KeyLen: keyLen}, nil
+}
+
+// ValidateFirmware explores nothing but checks the static constraints —
+// use it in tests before registering.
+func ValidateFirmware(p Firmware) error { return cfa.ValidateProgram(p) }

@@ -1,0 +1,3 @@
+module qei
+
+go 1.22

@@ -1,0 +1,269 @@
+package baseline
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"qei/internal/dstruct"
+	"qei/internal/isa"
+	"qei/internal/mem"
+)
+
+func newAS() *mem.AddressSpace {
+	return mem.NewAddressSpace(mem.NewPhysical())
+}
+
+func genKeys(n, keyLen int, seed int64) ([][]byte, []uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[string]bool{}
+	keys := make([][]byte, 0, n)
+	vals := make([]uint64, 0, n)
+	for len(keys) < n {
+		k := make([]byte, keyLen)
+		rng.Read(k)
+		if seen[string(k)] {
+			continue
+		}
+		seen[string(k)] = true
+		keys = append(keys, k)
+		vals = append(vals, uint64(len(keys))*31+5)
+	}
+	return keys, vals
+}
+
+func TestLinkedListMatchesReference(t *testing.T) {
+	as := newAS()
+	keys, vals := genKeys(40, 16, 1)
+	l := dstruct.BuildLinkedList(as, keys, vals)
+	for i, k := range keys {
+		r, err := QueryLinkedList(as, l.HeaderAddr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Found || r.Value != vals[i] {
+			t.Fatalf("key %d: %+v want %d", i, r, vals[i])
+		}
+		if len(r.Trace) == 0 {
+			t.Fatal("no trace emitted")
+		}
+	}
+	r, err := QueryLinkedList(as, l.HeaderAddr, make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Found {
+		t.Fatal("absent key found")
+	}
+	// A full miss walks all nodes: trace must reflect ~40 node loads.
+	if r.Trace.Loads() < 40 {
+		t.Fatalf("miss trace has %d loads, want >= 40", r.Trace.Loads())
+	}
+}
+
+func TestLinkedListTraceGrowsWithPosition(t *testing.T) {
+	as := newAS()
+	keys, vals := genKeys(30, 16, 2)
+	l := dstruct.BuildLinkedList(as, keys, vals)
+	r0, _ := QueryLinkedList(as, l.HeaderAddr, keys[0])
+	r29, _ := QueryLinkedList(as, l.HeaderAddr, keys[29])
+	if len(r29.Trace) <= len(r0.Trace) {
+		t.Fatalf("tail query trace (%d ops) not longer than head query (%d ops)",
+			len(r29.Trace), len(r0.Trace))
+	}
+}
+
+func TestHashTableMatchesReference(t *testing.T) {
+	as := newAS()
+	keys, vals := genKeys(300, 16, 3)
+	ht := dstruct.BuildHashTable(as, 64, 9, keys, vals)
+	for i, k := range keys {
+		r, err := QueryHashTable(as, ht.HeaderAddr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Found || r.Value != vals[i] {
+			t.Fatalf("key %d: %+v want %d", i, r, vals[i])
+		}
+	}
+}
+
+func TestCuckooMatchesReference(t *testing.T) {
+	as := newAS()
+	keys, vals := genKeys(1000, 16, 4)
+	c := dstruct.BuildCuckoo(as, 512, 4, 11, keys, vals)
+	for i, k := range keys {
+		r, err := QueryCuckoo(as, c.HeaderAddr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Found || r.Value != vals[i] {
+			t.Fatalf("key %d: %+v want %d", i, r, vals[i])
+		}
+	}
+	r, _ := QueryCuckoo(as, c.HeaderAddr, make([]byte, 16))
+	if r.Found {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestCuckooBoundedWork(t *testing.T) {
+	as := newAS()
+	keys, vals := genKeys(1000, 16, 5)
+	c := dstruct.BuildCuckoo(as, 512, 4, 11, keys, vals)
+	// Hash-table queries have a small, fixed number of memory accesses
+	// (Sec. VII-A); with 16 B keys and 4-entry buckets a probe is ~2
+	// lines per bucket.
+	for _, k := range keys[:50] {
+		r, _ := QueryCuckoo(as, c.HeaderAddr, k)
+		if n := r.Trace.Loads(); n > 12 {
+			t.Fatalf("cuckoo query loaded %d lines, want bounded (<=12)", n)
+		}
+	}
+}
+
+func TestSkipListMatchesReference(t *testing.T) {
+	as := newAS()
+	keys, vals := genKeys(500, 32, 6)
+	sl := dstruct.BuildSkipList(as, 77, keys, vals)
+	for i, k := range keys {
+		r, err := QuerySkipList(as, sl.HeaderAddr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Found || r.Value != vals[i] {
+			t.Fatalf("key %d: found=%v value=%d want %d", i, r.Found, r.Value, vals[i])
+		}
+	}
+	r, _ := QuerySkipList(as, sl.HeaderAddr, bytes.Repeat([]byte{0xff}, 32))
+	if r.Found {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestSkipListLogarithmicWork(t *testing.T) {
+	as := newAS()
+	keys, vals := genKeys(1000, 32, 7)
+	sl := dstruct.BuildSkipList(as, 13, keys, vals)
+	total := 0
+	for _, k := range keys[:100] {
+		r, _ := QuerySkipList(as, sl.HeaderAddr, k)
+		total += r.Trace.Loads()
+	}
+	avg := float64(total) / 100
+	// log4(1000) ≈ 5 levels of real work + level scans; expect tens of
+	// loads, far below the 1000 a linear scan would need.
+	if avg > 150 {
+		t.Fatalf("skip list averages %.1f loads/query — not logarithmic", avg)
+	}
+	if avg < 10 {
+		t.Fatalf("skip list averages %.1f loads/query — implausibly low", avg)
+	}
+}
+
+func TestBSTMatchesReference(t *testing.T) {
+	as := newAS()
+	keys, vals := genKeys(600, 8, 8)
+	b := dstruct.BuildBST(as, 3, 64, keys, vals)
+	for i, k := range keys {
+		r, err := QueryBST(as, b.HeaderAddr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Found || r.Value != vals[i] {
+			t.Fatalf("key %d: found=%v value=%d want %d", i, r.Found, r.Value, vals[i])
+		}
+	}
+}
+
+func TestBSTQueryHasDeepDependentChain(t *testing.T) {
+	as := newAS()
+	keys, vals := genKeys(4000, 8, 9)
+	b := dstruct.BuildBST(as, 5, 64, keys, vals)
+	// JVM calibration target: tens of memory accesses per query.
+	total := 0
+	for _, k := range keys[:200] {
+		r, _ := QueryBST(as, b.HeaderAddr, k)
+		total += r.Trace.Loads()
+	}
+	avg := float64(total) / 200
+	if avg < 15 || avg > 80 {
+		t.Fatalf("BST averages %.1f loads/query, want tree-depth-ish (15..80)", avg)
+	}
+}
+
+func TestScanTrieMatchesReference(t *testing.T) {
+	as := newAS()
+	kws := [][]byte{[]byte("attack"), []byte("root"), []byte("passwd"), []byte("admin")}
+	tr := dstruct.BuildTrie(as, kws, []uint64{1, 2, 3, 4})
+	input := []byte("GET /rootkit?admin=1&x=passwd HTTP/1.1")
+	want, err := dstruct.ScanTrieRef(as, tr.HeaderAddr, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ScanTrie(as, tr.HeaderAddr, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Matches) != len(want) {
+		t.Fatalf("matches = %v, reference = %v", got.Matches, want)
+	}
+	for i := range want {
+		if got.Matches[i] != want[i] {
+			t.Fatalf("match %d = %d, want %d", i, got.Matches[i], want[i])
+		}
+	}
+	if got.Steps < len(input) {
+		t.Fatalf("steps = %d, want >= input length %d", got.Steps, len(input))
+	}
+}
+
+func TestHundredsOfDynamicInstructions(t *testing.T) {
+	// Sec. II-A: "each query operation can easily generate hundreds of
+	// dynamic instructions". Check the pointer-chasing structures.
+	as := newAS()
+	keys, vals := genKeys(10000, 32, 10)
+	sl := dstruct.BuildSkipList(as, 3, keys, vals)
+	r, _ := QuerySkipList(as, sl.HeaderAddr, keys[7000])
+	if len(r.Trace) < 100 {
+		t.Fatalf("skip list query = %d dynamic ops, want hundreds", len(r.Trace))
+	}
+}
+
+func TestWrongHeaderTypeRejected(t *testing.T) {
+	as := newAS()
+	keys, vals := genKeys(5, 16, 11)
+	l := dstruct.BuildLinkedList(as, keys, vals)
+	if _, err := QueryCuckoo(as, l.HeaderAddr, keys[0]); err == nil {
+		t.Fatal("cuckoo walker accepted a linked-list header")
+	}
+	if _, err := QuerySkipList(as, l.HeaderAddr, keys[0]); err == nil {
+		t.Fatal("skiplist walker accepted a linked-list header")
+	}
+	if _, err := QueryBST(as, l.HeaderAddr, keys[0]); err == nil {
+		t.Fatal("bst walker accepted a linked-list header")
+	}
+	if _, err := QueryHashTable(as, l.HeaderAddr, keys[0]); err == nil {
+		t.Fatal("hashtable walker accepted a linked-list header")
+	}
+	if _, err := ScanTrie(as, l.HeaderAddr, []byte("x")); err == nil {
+		t.Fatal("trie walker accepted a linked-list header")
+	}
+}
+
+func TestTraceHasRealAddresses(t *testing.T) {
+	as := newAS()
+	keys, vals := genKeys(20, 16, 12)
+	l := dstruct.BuildLinkedList(as, keys, vals)
+	r, _ := QueryLinkedList(as, l.HeaderAddr, keys[10])
+	for _, op := range r.Trace {
+		if op.Kind == isa.Load && op.Addr == 0 && op.Size > 1 {
+			t.Fatal("load with NULL address in trace")
+		}
+		if op.Kind == isa.Load {
+			if _, err := as.Translate(op.Addr); err != nil {
+				t.Fatalf("trace load at unmapped address %#x", uint64(op.Addr))
+			}
+		}
+	}
+}

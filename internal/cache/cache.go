@@ -1,0 +1,234 @@
+// Package cache models the on-chip cache hierarchy of the simulated
+// Skylake-SP-style CPU from Tab. II of the QEI paper: per-core 32 KB L1D
+// and 1 MB L2, and a 33 MB shared non-uniform (NUCA) last-level cache
+// split into 24 slices, each fronted by a Caching and Home Agent (CHA)
+// sitting on a mesh NoC stop. A DRAM model with six DDR4 channels backs
+// the LLC.
+//
+// Caches here are tag-accurate: sets, ways, and true-LRU replacement are
+// simulated so hit rates are real, while data bytes live in the simulated
+// physical memory (package mem). Timing is compositional: an access
+// returns the number of cycles it took, and the requester (OoO core model
+// or QEI accelerator) decides how much of that latency overlaps other
+// work.
+package cache
+
+import (
+	"fmt"
+
+	"qei/internal/mem"
+)
+
+// Level identifies where an access was satisfied.
+type Level int
+
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelLLC
+	LevelDRAM
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelLLC:
+		return "LLC"
+	case LevelDRAM:
+		return "DRAM"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Config describes one cache array.
+type Config struct {
+	SizeBytes  uint64
+	Ways       int
+	LineSize   uint64
+	HitLatency uint64
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int {
+	return int(c.SizeBytes / (c.LineSize * uint64(c.Ways)))
+}
+
+// L1DConfig is an 8-way 32 KB L1 data cache, 4-cycle hit.
+func L1DConfig() Config {
+	return Config{SizeBytes: 32 << 10, Ways: 8, LineSize: mem.LineSize, HitLatency: 4}
+}
+
+// L2Config is a 16-way 1 MB private L2, 14-cycle hit.
+func L2Config() Config {
+	return Config{SizeBytes: 1 << 20, Ways: 16, LineSize: mem.LineSize, HitLatency: 14}
+}
+
+// LLCSliceConfig is one of 24 slices of the 33 MB 11-way shared LLC:
+// 1.375 MB per slice, ~20-cycle array access (NoC hops are separate).
+func LLCSliceConfig() Config {
+	return Config{SizeBytes: (33 << 20) / 24, Ways: 11, LineSize: mem.LineSize, HitLatency: 20}
+}
+
+// Cache is a single set-associative cache array with true-LRU replacement.
+type Cache struct {
+	cfg   Config
+	sets  uint64
+	tags  [][]uint64 // line addresses; ^0 = invalid
+	dirty [][]bool
+	lru   [][]uint64
+	stamp uint64
+
+	hits, misses, evictions, writebacks uint64
+}
+
+// New builds a cache array.
+func New(cfg Config) *Cache {
+	sets := cfg.Sets()
+	if sets <= 0 || cfg.SizeBytes%(cfg.LineSize*uint64(cfg.Ways)) != 0 {
+		panic(fmt.Sprintf("cache: bad geometry %+v", cfg))
+	}
+	c := &Cache{cfg: cfg, sets: uint64(sets)}
+	c.tags = make([][]uint64, sets)
+	c.dirty = make([][]bool, sets)
+	c.lru = make([][]uint64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, cfg.Ways)
+		c.dirty[i] = make([]bool, cfg.Ways)
+		c.lru[i] = make([]uint64, cfg.Ways)
+		for w := range c.tags[i] {
+			c.tags[i][w] = ^uint64(0)
+		}
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) setIndex(line uint64) uint64 {
+	return (line / c.cfg.LineSize) % c.sets
+}
+
+// Lookup probes for the line containing a, updating LRU and stats.
+func (c *Cache) Lookup(a mem.PAddr) bool {
+	line := uint64(a.Line())
+	set := c.setIndex(line)
+	for w, tag := range c.tags[set] {
+		if tag == line {
+			c.stamp++
+			c.lru[set][w] = c.stamp
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Contains probes without touching LRU or stats (for invariant checks).
+func (c *Cache) Contains(a mem.PAddr) bool {
+	line := uint64(a.Line())
+	set := c.setIndex(line)
+	for _, tag := range c.tags[set] {
+		if tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills the line containing a, evicting the LRU way if the set is
+// full. It returns the evicted line address and whether an eviction of a
+// dirty line (writeback) occurred. evicted is ^0 when nothing was evicted.
+func (c *Cache) Insert(a mem.PAddr, dirtyFill bool) (evicted uint64, writeback bool) {
+	line := uint64(a.Line())
+	set := c.setIndex(line)
+	for w, tag := range c.tags[set] {
+		if tag == line {
+			c.stamp++
+			c.lru[set][w] = c.stamp
+			if dirtyFill {
+				c.dirty[set][w] = true
+			}
+			return ^uint64(0), false
+		}
+	}
+	// Prefer an invalid way; otherwise evict true-LRU.
+	victim := -1
+	oldest := ^uint64(0)
+	for w, tag := range c.tags[set] {
+		if tag == ^uint64(0) {
+			victim = w
+			break
+		}
+		if c.lru[set][w] < oldest {
+			oldest = c.lru[set][w]
+			victim = w
+		}
+	}
+	evicted = c.tags[set][victim]
+	writeback = evicted != ^uint64(0) && c.dirty[set][victim]
+	if evicted != ^uint64(0) {
+		c.evictions++
+		if writeback {
+			c.writebacks++
+		}
+	}
+	c.stamp++
+	c.tags[set][victim] = line
+	c.dirty[set][victim] = dirtyFill
+	c.lru[set][victim] = c.stamp
+	return evicted, writeback
+}
+
+// MarkDirty sets the dirty bit of the line containing a if present.
+func (c *Cache) MarkDirty(a mem.PAddr) {
+	line := uint64(a.Line())
+	set := c.setIndex(line)
+	for w, tag := range c.tags[set] {
+		if tag == line {
+			c.dirty[set][w] = true
+			return
+		}
+	}
+}
+
+// Invalidate drops the line containing a if present, reporting whether it
+// was dirty.
+func (c *Cache) Invalidate(a mem.PAddr) (present, wasDirty bool) {
+	line := uint64(a.Line())
+	set := c.setIndex(line)
+	for w, tag := range c.tags[set] {
+		if tag == line {
+			wasDirty = c.dirty[set][w]
+			c.tags[set][w] = ^uint64(0)
+			c.dirty[set][w] = false
+			c.lru[set][w] = 0
+			return true, wasDirty
+		}
+	}
+	return false, false
+}
+
+// Stats reports accumulated counters.
+func (c *Cache) Stats() (hits, misses, evictions, writebacks uint64) {
+	return c.hits, c.misses, c.evictions, c.writebacks
+}
+
+// HitRate returns hits/(hits+misses).
+func (c *Cache) HitRate() float64 {
+	t := c.hits + c.misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(t)
+}
+
+// ResetStats zeroes the counters without touching contents.
+func (c *Cache) ResetStats() {
+	c.hits, c.misses, c.evictions, c.writebacks = 0, 0, 0, 0
+}

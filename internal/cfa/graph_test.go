@@ -1,0 +1,114 @@
+package cfa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExploreAllBuiltins(t *testing.T) {
+	for _, p := range []Program{
+		LinkedListProgram{}, HashTableProgram{}, CuckooProgram{},
+		SkipListProgram{}, BSTProgram{}, TrieProgram{},
+	} {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			g, err := ExploreBuiltin(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if len(g.Edges) == 0 {
+				t.Fatal("no transitions observed")
+			}
+			// The explored state count must match (or be below) the
+			// program's declared NumStates plus the two terminals.
+			nonTerminal := 0
+			for _, s := range g.States {
+				if s != StateDone && s != StateException {
+					nonTerminal++
+				}
+			}
+			if nonTerminal > p.NumStates() {
+				t.Fatalf("explored %d non-terminal states, program declares %d",
+					nonTerminal, p.NumStates())
+			}
+		})
+	}
+}
+
+func TestLinkedListGraphShape(t *testing.T) {
+	// Fig. 3: the linked-list CFA alternates COMP and MEM.N with a loop
+	// edge on mismatch, entering from START and ending at DONE.
+	g, err := ExploreBuiltin(LinkedListProgram{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(from, to StateID) bool {
+		for _, e := range g.Edges {
+			if e.From == from && e.To == to {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(StateStart, stComp) {
+		t.Fatal("missing START->COMP")
+	}
+	if !has(stComp, stNext) {
+		t.Fatal("missing COMP->MEM.N (mismatch loop)")
+	}
+	if !has(stNext, stComp) {
+		t.Fatal("missing MEM.N->COMP")
+	}
+	if !has(stComp, StateDone) {
+		t.Fatal("missing COMP->DONE (match)")
+	}
+}
+
+func TestDOTRendering(t *testing.T) {
+	g, err := ExploreBuiltin(CuckooProgram{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.ToDOT()
+	for _, want := range []string{"digraph", "START", "HASH", "COMP", "DONE", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestValidateCatchesDeadEnd(t *testing.T) {
+	g := &Graph{
+		Program: "broken",
+		States:  []StateID{StateStart, 1, StateDone},
+		Edges:   []Edge{{From: StateStart, To: 1, Ops: "mem"}},
+		// state 1 has no outgoing edge and DONE unreachable from it
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("dead-end state not detected")
+	}
+}
+
+func TestValidateRequiresDone(t *testing.T) {
+	g := &Graph{
+		Program: "spinner",
+		States:  []StateID{StateStart, 1},
+		Edges:   []Edge{{From: StateStart, To: 1}, {From: 1, To: StateStart}},
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("DONE-less graph not detected")
+	}
+}
+
+func TestBTreeGraph(t *testing.T) {
+	g, err := ExploreBuiltin(BTreeProgram{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

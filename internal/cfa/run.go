@@ -1,0 +1,86 @@
+package cfa
+
+import (
+	"fmt"
+
+	"qei/internal/dstruct"
+	"qei/internal/mem"
+)
+
+// ExecResult is the outcome of a functional CFA execution.
+type ExecResult struct {
+	Found bool
+	Value uint64
+	// Matches holds all trie-scan match values.
+	Matches []uint64
+	// Transitions counts state-handler invocations (CFA steps).
+	Transitions int
+	// Ops tallies issued micro-ops by kind.
+	Ops map[OpKind]int
+	// MemLines is the total cachelines fetched by OpMemRead ops — the
+	// accelerator-side analogue of the baseline's load count.
+	MemLines int
+}
+
+// maxTransitions bounds runaway CFAs (a firmware bug must not hang the
+// engine; real hardware would watchdog).
+const maxTransitions = 1 << 20
+
+// Run executes a query functionally against the registry: it stages the
+// header and key the way the engine does, then steps the CFA to a
+// terminal state, tallying micro-ops without timing. The timed engine in
+// package qei layers scheduling and latency on the same Step sequence.
+func Run(reg *Registry, as *mem.AddressSpace, headerAddr, keyAddr mem.VAddr, keyLen int) (ExecResult, error) {
+	res := ExecResult{Ops: make(map[OpKind]int)}
+	hdr, err := dstruct.ReadHeader(as, headerAddr)
+	if err != nil {
+		return res, err
+	}
+	prog, ok := reg.Lookup(hdr.Type)
+	if !ok {
+		return res, fmt.Errorf("cfa: no program registered for type %s", dstruct.TypeName(hdr.Type))
+	}
+	if keyLen == 0 {
+		keyLen = int(hdr.KeyLen)
+	}
+	key := make([]byte, keyLen)
+	if err := as.Read(keyAddr, key); err != nil {
+		return res, err
+	}
+	q := &Query{
+		AS:         as,
+		HeaderAddr: headerAddr,
+		Header:     hdr,
+		KeyAddr:    keyAddr,
+		Key:        key,
+	}
+	// The engine's metadata fetch is itself one line read.
+	res.Ops[OpMemRead]++
+	res.MemLines++
+
+	state := StateStart
+	for {
+		if res.Transitions >= maxTransitions {
+			return res, fmt.Errorf("cfa: %s exceeded %d transitions — runaway firmware", prog.Name(), maxTransitions)
+		}
+		req := prog.Step(q, state)
+		res.Transitions++
+		for _, op := range req.Ops {
+			res.Ops[op.Kind]++
+			if op.Kind == OpMemRead {
+				res.MemLines += mem.LinesTouched(op.Addr, op.Bytes)
+			}
+		}
+		switch req.Next {
+		case StateDone:
+			res.Found = req.Found
+			res.Value = req.Value
+			res.Matches = q.Matches
+			return res, nil
+		case StateException:
+			return res, req.Fault
+		default:
+			state = req.Next
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package cpu
+
+import (
+	"testing"
+
+	"qei/internal/isa"
+)
+
+func TestStatsSub(t *testing.T) {
+	c := New(DefaultConfig(), &fixedMem{lat: 1}, nil)
+	b := isa.NewBuilder()
+	for i := 0; i < 20; i++ {
+		b.Load(0x1000, 8, 0)
+		b.ALU(0, 0)
+	}
+	c.Run(b.Take())
+	snap := c.Stats()
+
+	b2 := isa.NewBuilder()
+	for i := 0; i < 5; i++ {
+		b2.Load(0x2000, 8, 0)
+		b2.Branch(0, true)
+	}
+	c.Run(b2.Take())
+	d := c.Stats().Sub(snap)
+	if d.Loads != 5 {
+		t.Fatalf("windowed loads = %d, want 5", d.Loads)
+	}
+	if d.Mispredicts != 5 {
+		t.Fatalf("windowed mispredicts = %d, want 5", d.Mispredicts)
+	}
+	if d.Instructions != 10 {
+		t.Fatalf("windowed instructions = %d, want 10", d.Instructions)
+	}
+	if d.Cycles == 0 {
+		t.Fatal("windowed cycles empty")
+	}
+}
+
+func TestIPCZeroCycles(t *testing.T) {
+	var s Stats
+	if s.IPC() != 0 {
+		t.Fatal("IPC of empty stats should be 0")
+	}
+}
+
+func TestRetireWidthBoundsThroughput(t *testing.T) {
+	// With RetireWidth 1, N single-cycle ops need at least N cycles.
+	cfg := DefaultConfig()
+	cfg.RetireWidth = 1
+	c := New(cfg, &fixedMem{lat: 1}, nil)
+	b := isa.NewBuilder()
+	for i := 0; i < 100; i++ {
+		b.ALU(0, 0)
+	}
+	end := c.Run(b.Take())
+	if end < 99 {
+		t.Fatalf("100 ops retired in %d cycles with retire width 1", end)
+	}
+}

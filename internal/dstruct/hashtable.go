@@ -1,0 +1,118 @@
+package dstruct
+
+import (
+	"bytes"
+
+	"qei/internal/mem"
+)
+
+// Chained hash table layout: a power-of-two array of 8 B head pointers,
+// each the head of a linked list of nodes in the package's list layout.
+// This is the "hash table of linked lists" combined structure the paper
+// calls out explicitly (Sec. III-A): it gets its own type/subtype and a
+// dedicated CFA that chains the hash state into the list-walk states.
+//
+// Header fields: Root = bucket array base, Aux = bucket count (power of
+// two), Aux2 = hash seed, KeyLen = key length, Size = element count.
+
+// HashTable is the host handle to a simulated chained hash table.
+type HashTable struct {
+	HeaderAddr mem.VAddr
+	Buckets    mem.VAddr
+	NBuckets   uint64
+	Seed       uint64
+	KeyLen     uint16
+	Len        int
+}
+
+// BuildHashTable materializes a chained hash table with nBuckets buckets
+// (rounded up to a power of two) holding the given keys and values.
+func BuildHashTable(as *mem.AddressSpace, nBuckets uint64, seed uint64, keys [][]byte, values []uint64) *HashTable {
+	if len(keys) != len(values) {
+		panic("dstruct: keys/values length mismatch")
+	}
+	nBuckets = ceilPow2(nBuckets)
+	keyLen := 0
+	if len(keys) > 0 {
+		keyLen = len(keys[0])
+	}
+	bucketArr := as.Alloc(nBuckets*8, mem.LineSize)
+	nodeSize := ListNodeSize(keyLen)
+	for i, k := range keys {
+		if len(k) != keyLen {
+			panic("dstruct: inconsistent key lengths in hash table")
+		}
+		b := Hash(k, seed) & (nBuckets - 1)
+		slot := bucketArr + mem.VAddr(b*8)
+		head, err := as.ReadU64(slot)
+		if err != nil {
+			panic(err)
+		}
+		node := as.Alloc(nodeSize, mem.LineSize)
+		as.MustWrite(node+listOffNext, encodeU64(head))
+		as.MustWrite(node+listOffValue, encodeU64(values[i]))
+		as.MustWrite(node+listOffKey, k)
+		as.MustWrite(slot, encodeU64(uint64(node)))
+	}
+	hdr := Header{
+		Root:   bucketArr,
+		Type:   TypeHashTable,
+		KeyLen: uint16(keyLen),
+		Size:   uint64(len(keys)),
+		Aux:    nBuckets,
+		Aux2:   seed,
+	}
+	return &HashTable{
+		HeaderAddr: WriteHeader(as, hdr),
+		Buckets:    bucketArr,
+		NBuckets:   nBuckets,
+		Seed:       seed,
+		KeyLen:     uint16(keyLen),
+		Len:        len(keys),
+	}
+}
+
+// HashBucketSlot returns the address of the bucket head pointer for key.
+func HashBucketSlot(h Header, key []byte) mem.VAddr {
+	b := Hash(key, h.Aux2) & (h.Aux - 1)
+	return h.Root + mem.VAddr(b*8)
+}
+
+// QueryHashTableRef is the host-side reference lookup.
+func QueryHashTableRef(as *mem.AddressSpace, headerAddr mem.VAddr, key []byte) (uint64, bool, error) {
+	h, err := ReadHeader(as, headerAddr)
+	if err != nil {
+		return 0, false, err
+	}
+	head, err := as.ReadU64(HashBucketSlot(h, key))
+	if err != nil {
+		return 0, false, err
+	}
+	node := mem.VAddr(head)
+	for node != 0 {
+		k, err := ListKey(as, node, h.KeyLen)
+		if err != nil {
+			return 0, false, err
+		}
+		if bytes.Equal(k, key) {
+			v, err := ListValue(as, node)
+			return v, err == nil, err
+		}
+		node, err = ListNext(as, node)
+		if err != nil {
+			return 0, false, err
+		}
+	}
+	return 0, false, nil
+}
+
+func ceilPow2(v uint64) uint64 {
+	if v == 0 {
+		return 1
+	}
+	p := uint64(1)
+	for p < v {
+		p <<= 1
+	}
+	return p
+}

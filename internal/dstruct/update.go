@@ -1,0 +1,217 @@
+package dstruct
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"qei/internal/mem"
+)
+
+// Update operations. QEI accelerates queries only; inserts and deletes
+// stay in software (Sec. IV-A: "Update operations (e.g., insert, delete)
+// are still in software ... QEI targets read-intensive cases"). These
+// mutators work directly on the simulated bytes, so a query issued to
+// the accelerator right after an update observes it — both sides read
+// the same coherent memory, exactly the property the paper's
+// cache-coherent integration provides.
+
+// ListInsertFront prepends a key/value node to a linked list and updates
+// the structure's header.
+func (l *LinkedList) InsertFront(as *mem.AddressSpace, key []byte, value uint64) error {
+	if len(key) != int(l.KeyLen) {
+		return fmt.Errorf("dstruct: key length %d, list stores %d", len(key), l.KeyLen)
+	}
+	node := as.Alloc(ListNodeSize(int(l.KeyLen)), mem.LineSize)
+	as.MustWrite(node+listOffNext, encodeU64(uint64(l.Head)))
+	as.MustWrite(node+listOffValue, encodeU64(value))
+	as.MustWrite(node+listOffKey, key)
+	l.Head = node
+	l.Len++
+	// Publish the new head through the Fig. 4 header.
+	hdr, err := ReadHeader(as, l.HeaderAddr)
+	if err != nil {
+		return err
+	}
+	hdr.Root = node
+	hdr.Size = uint64(l.Len)
+	EncodeHeader(as, l.HeaderAddr, hdr)
+	return nil
+}
+
+// Remove unlinks the first node whose key matches, reporting whether a
+// node was removed.
+func (l *LinkedList) Remove(as *mem.AddressSpace, key []byte) (bool, error) {
+	var prev mem.VAddr
+	node := l.Head
+	for node != 0 {
+		k, err := ListKey(as, node, l.KeyLen)
+		if err != nil {
+			return false, err
+		}
+		if bytes.Equal(k, key) {
+			next, err := ListNext(as, node)
+			if err != nil {
+				return false, err
+			}
+			if prev == 0 {
+				l.Head = next
+				hdr, err := ReadHeader(as, l.HeaderAddr)
+				if err != nil {
+					return false, err
+				}
+				hdr.Root = next
+				hdr.Size = uint64(l.Len - 1)
+				EncodeHeader(as, l.HeaderAddr, hdr)
+			} else {
+				as.MustWrite(prev+listOffNext, encodeU64(uint64(next)))
+			}
+			l.Len--
+			return true, nil
+		}
+		prev = node
+		node, err = ListNext(as, node)
+		if err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// Insert adds or updates a key in the cuckoo table, performing
+// displacement as needed. It returns an error when the table cannot
+// place the key (software would resize; the fixed-capacity hardware view
+// reports the overflow).
+func (c *Cuckoo) Insert(as *mem.AddressSpace, key []byte, value uint64) error {
+	if len(key) != int(c.KeyLen) {
+		return fmt.Errorf("dstruct: key length %d, table stores %d", len(key), c.KeyLen)
+	}
+	if !c.insert(as, key, value, 0) {
+		return fmt.Errorf("dstruct: cuckoo table full (len %d)", c.Len)
+	}
+	c.Len++
+	return nil
+}
+
+// Delete clears the entry holding key, reporting whether it existed.
+func (c *Cuckoo) Delete(as *mem.AddressSpace, key []byte) (bool, error) {
+	h1, h2 := CuckooHashes(key, c.Seed, c.NBuckets)
+	for _, b := range [2]uint64{h1, h2} {
+		for s := 0; s < c.Entries; s++ {
+			occ, k, _ := c.readEntry(as, b, s)
+			if occ && bytes.Equal(k, key) {
+				as.MustWrite(c.entryAddr(b, s)+cuckooOffOccupied, encodeU64(0))
+				c.Len--
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// Insert adds a key to the skip list with a deterministic tower height
+// drawn from rng. The list remains sorted; duplicate keys update the
+// existing node's value in place.
+func (sl *SkipList) Insert(as *mem.AddressSpace, rng *rand.Rand, key []byte, value uint64) error {
+	if len(key) != int(sl.KeyLen) {
+		return fmt.Errorf("dstruct: key length %d, list stores %d", len(key), sl.KeyLen)
+	}
+	// Find predecessors at every level.
+	update := make([]mem.VAddr, sl.MaxLevel)
+	node := sl.Head
+	for l := sl.MaxLevel - 1; l >= 0; l-- {
+		for {
+			nextU, err := as.ReadU64(SkipNextSlot(node, l))
+			if err != nil {
+				return err
+			}
+			next := mem.VAddr(nextU)
+			if next == 0 {
+				break
+			}
+			nh, err := SkipHeight(as, next)
+			if err != nil {
+				return err
+			}
+			nk, err := readKey(as, SkipKeyAddr(next, nh), sl.KeyLen)
+			if err != nil {
+				return err
+			}
+			c := bytes.Compare(nk, key)
+			if c < 0 {
+				node = next
+				continue
+			}
+			if c == 0 {
+				// Update in place.
+				as.MustWrite(next+skipOffValue, encodeU64(value))
+				return nil
+			}
+			break
+		}
+		update[l] = node
+	}
+	height := 1
+	for height < sl.MaxLevel && rng.Intn(4) == 0 {
+		height++
+	}
+	n := as.Alloc(skipNodeSize(int(sl.KeyLen), height), mem.LineSize)
+	as.MustWrite(n+skipOffHeight, encodeU64(uint64(height)))
+	as.MustWrite(n+skipOffValue, encodeU64(value))
+	as.MustWrite(SkipKeyAddr(n, height), key)
+	for l := 0; l < height; l++ {
+		prevNextU, err := as.ReadU64(SkipNextSlot(update[l], l))
+		if err != nil {
+			return err
+		}
+		as.MustWrite(SkipNextSlot(n, l), encodeU64(prevNextU))
+		as.MustWrite(SkipNextSlot(update[l], l), encodeU64(uint64(n)))
+	}
+	sl.Len++
+	return nil
+}
+
+// Insert adds a key to the BST (no rebalancing, as an object graph grows
+// by allocation order).
+func (b *BST) Insert(as *mem.AddressSpace, key []byte, value uint64) error {
+	if len(key) != int(b.KeyLen) {
+		return fmt.Errorf("dstruct: key length %d, tree stores %d", len(key), b.KeyLen)
+	}
+	node := as.Alloc(bstNodeSize(int(b.KeyLen), b.PayloadBytes), mem.LineSize)
+	as.MustWrite(node+bstOffValue, encodeU64(value))
+	as.MustWrite(BSTKeyAddr(node, b.PayloadBytes), key)
+	if b.Root == 0 {
+		b.Root = node
+		hdr, err := ReadHeader(as, b.HeaderAddr)
+		if err != nil {
+			return err
+		}
+		hdr.Root = node
+		EncodeHeader(as, b.HeaderAddr, hdr)
+		b.Len++
+		return nil
+	}
+	cur := b.Root
+	for {
+		ck, err := readKey(as, BSTKeyAddr(cur, b.PayloadBytes), b.KeyLen)
+		if err != nil {
+			return err
+		}
+		c := bytes.Compare(key, ck)
+		if c == 0 {
+			as.MustWrite(cur+bstOffValue, encodeU64(value))
+			return nil
+		}
+		slot := BSTChildSlot(cur, c > 0)
+		childU, err := as.ReadU64(slot)
+		if err != nil {
+			return err
+		}
+		if childU == 0 {
+			as.MustWrite(slot, encodeU64(uint64(node)))
+			b.Len++
+			return nil
+		}
+		cur = mem.VAddr(childU)
+	}
+}

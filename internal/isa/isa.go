@@ -1,0 +1,250 @@
+// Package isa defines the dynamic micro-operation format consumed by the
+// simulated out-of-order core (package cpu).
+//
+// The software baselines in this reproduction are not compiled x86
+// binaries; they are query routines that walk the simulated data
+// structures functionally and, as a side effect, emit the dynamic
+// instruction stream a compiled -O3 loop would execute: dependent loads
+// for pointer chasing, ALU ops for hashing and index arithmetic, compare
+// and branch ops for the loop control flow the paper identifies as the
+// frontend bottleneck (Sec. II-A). QEI's QUERY_B/QUERY_NB instructions
+// (Sec. IV-A) are two additional micro-op kinds.
+package isa
+
+import "qei/internal/mem"
+
+// Reg is an architectural register number. The trace generators use a
+// small conventional file; register 0 is hardwired zero/unused.
+type Reg uint8
+
+// NumRegs is the size of the architectural register file visible to
+// traces.
+const NumRegs = 64
+
+// Kind enumerates micro-op classes.
+type Kind uint8
+
+const (
+	// Nop consumes a frontend slot only.
+	Nop Kind = iota
+	// ALU is a single-cycle integer operation.
+	ALU
+	// MulALU is a multi-cycle integer operation (multiplies in hash
+	// functions).
+	MulALU
+	// Load reads from memory into Dst.
+	Load
+	// Store writes a register to memory.
+	Store
+	// Branch is a conditional branch; Mispredict marks dynamic instances
+	// the predictor gets wrong.
+	Branch
+	// QueryB is the blocking QEI query instruction: behaves like a
+	// long-latency load whose value is produced by the accelerator.
+	QueryB
+	// QueryNB is the non-blocking QEI query instruction: behaves like a
+	// store and retires once the accelerator accepts it.
+	QueryNB
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Nop:
+		return "nop"
+	case ALU:
+		return "alu"
+	case MulALU:
+		return "mul"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Branch:
+		return "branch"
+	case QueryB:
+		return "query_b"
+	case QueryNB:
+		return "query_nb"
+	default:
+		return "unknown"
+	}
+}
+
+// QueryDesc carries the operands of a QUERY micro-op to the accelerator:
+// the data-structure header address, the key address, and (non-blocking
+// only) the result address (Sec. IV-A).
+type QueryDesc struct {
+	HeaderAddr mem.VAddr
+	KeyAddr    mem.VAddr
+	ResultAddr mem.VAddr // zero for blocking queries
+	// KeyLen overrides the header's key length when non-zero — used for
+	// variable-length probes such as trie scans over packet payloads.
+	KeyLen uint32
+	// Tag is an opaque identifier the workload uses to match results.
+	Tag uint64
+}
+
+// Op is one dynamic micro-operation.
+type Op struct {
+	Kind Kind
+	// Dst is the destination register (0 = none).
+	Dst Reg
+	// Src1, Src2 are source registers (0 = none).
+	Src1, Src2 Reg
+	// Addr is the effective virtual address for Load/Store.
+	Addr mem.VAddr
+	// Size is the access size in bytes for Load/Store (for stats; timing
+	// is per line).
+	Size uint8
+	// Mispredict marks a branch the predictor missed.
+	Mispredict bool
+	// Query carries QUERY operands; nil otherwise.
+	Query *QueryDesc
+}
+
+// Trace is a dynamic instruction sequence.
+type Trace []Op
+
+// Counts summarizes a trace by kind.
+func (t Trace) Counts() map[Kind]int {
+	m := make(map[Kind]int)
+	for i := range t {
+		m[t[i].Kind]++
+	}
+	return m
+}
+
+// Loads returns the number of memory-read micro-ops (the paper's
+// "memory accesses per query" metric counts these).
+func (t Trace) Loads() int {
+	n := 0
+	for i := range t {
+		if t[i].Kind == Load {
+			n++
+		}
+	}
+	return n
+}
+
+// Builder accumulates a trace with a tiny register-allocation convention,
+// making the query-routine generators readable.
+type Builder struct {
+	ops     Trace
+	nextReg Reg
+}
+
+// NewBuilder returns an empty trace builder.
+func NewBuilder() *Builder {
+	return &Builder{nextReg: 1}
+}
+
+// Temp allocates a fresh register, wrapping within the file (past results
+// that far back are dead in these loop bodies).
+func (b *Builder) Temp() Reg {
+	r := b.nextReg
+	b.nextReg++
+	if b.nextReg >= NumRegs {
+		b.nextReg = 1
+	}
+	return r
+}
+
+// Load appends a load of size bytes at addr depending on base, returning
+// the destination register.
+func (b *Builder) Load(addr mem.VAddr, size uint8, base Reg) Reg {
+	dst := b.Temp()
+	b.ops = append(b.ops, Op{Kind: Load, Dst: dst, Src1: base, Addr: addr, Size: size})
+	return dst
+}
+
+// LoadLine appends a whole-cacheline load (QEI granularity) at addr.
+func (b *Builder) LoadLine(addr mem.VAddr, base Reg) Reg {
+	return b.Load(addr.Line(), mem.LineSize, base)
+}
+
+// LoadRange appends loads covering [addr, addr+size) one cacheline at a
+// time, each depending on base, and returns a register that depends on
+// all of them (modelling a memcmp-style reduction).
+func (b *Builder) LoadRange(addr mem.VAddr, size uint64, base Reg) Reg {
+	if size == 0 {
+		return base
+	}
+	acc := base
+	first := uint64(addr) &^ (mem.LineSize - 1)
+	last := (uint64(addr) + size - 1) &^ (mem.LineSize - 1)
+	for line := first; line <= last; line += mem.LineSize {
+		r := b.Load(mem.VAddr(line), mem.LineSize, base)
+		acc = b.ALU(acc, r)
+	}
+	return acc
+}
+
+// Store appends a store of src to addr.
+func (b *Builder) Store(addr mem.VAddr, size uint8, src Reg) {
+	b.ops = append(b.ops, Op{Kind: Store, Src1: src, Addr: addr, Size: size})
+}
+
+// ALU appends a single-cycle op combining two registers.
+func (b *Builder) ALU(a, c Reg) Reg {
+	dst := b.Temp()
+	b.ops = append(b.ops, Op{Kind: ALU, Dst: dst, Src1: a, Src2: c})
+	return dst
+}
+
+// ALUN appends n dependent single-cycle ops seeded by src.
+func (b *Builder) ALUN(n int, src Reg) Reg {
+	r := src
+	for i := 0; i < n; i++ {
+		r = b.ALU(r, 0)
+	}
+	return r
+}
+
+// Mul appends a multi-cycle integer op.
+func (b *Builder) Mul(a, c Reg) Reg {
+	dst := b.Temp()
+	b.ops = append(b.ops, Op{Kind: MulALU, Dst: dst, Src1: a, Src2: c})
+	return dst
+}
+
+// Branch appends a conditional branch depending on cond.
+func (b *Builder) Branch(cond Reg, mispredict bool) {
+	b.ops = append(b.ops, Op{Kind: Branch, Src1: cond, Mispredict: mispredict})
+}
+
+// QueryB appends a blocking QEI query and returns the result register.
+func (b *Builder) QueryB(q QueryDesc) Reg {
+	dst := b.Temp()
+	qd := q
+	b.ops = append(b.ops, Op{Kind: QueryB, Dst: dst, Query: &qd})
+	return dst
+}
+
+// QueryNB appends a non-blocking QEI query.
+func (b *Builder) QueryNB(q QueryDesc) {
+	qd := q
+	b.ops = append(b.ops, Op{Kind: QueryNB, Query: &qd})
+}
+
+// Nop appends n frontend-only micro-ops (models surrounding scalar work
+// with no memory behaviour).
+func (b *Builder) Nop(n int) {
+	for i := 0; i < n; i++ {
+		b.ops = append(b.ops, Op{Kind: Nop})
+	}
+}
+
+// Append concatenates a prebuilt trace.
+func (b *Builder) Append(t Trace) {
+	b.ops = append(b.ops, t...)
+}
+
+// Take returns the accumulated trace and resets the builder.
+func (b *Builder) Take() Trace {
+	t := b.ops
+	b.ops = nil
+	return t
+}
+
+// Len reports the number of ops accumulated so far.
+func (b *Builder) Len() int { return len(b.ops) }

@@ -1,0 +1,107 @@
+package isa
+
+import (
+	"testing"
+
+	"qei/internal/mem"
+)
+
+func TestBuilderLoadDeps(t *testing.T) {
+	b := NewBuilder()
+	r1 := b.Load(0x1000, 8, 0)
+	r2 := b.Load(0x2000, 8, r1)
+	tr := b.Take()
+	if len(tr) != 2 {
+		t.Fatalf("trace length = %d", len(tr))
+	}
+	if tr[1].Src1 != r1 || tr[1].Dst != r2 {
+		t.Fatalf("dependency not recorded: %+v", tr[1])
+	}
+}
+
+func TestLoadRangeCoversLines(t *testing.T) {
+	b := NewBuilder()
+	// 100 bytes starting mid-line at 0x1020 touches lines 0x1000..0x1080.
+	b.LoadRange(0x1020, 100, 0)
+	tr := b.Take()
+	if got := tr.Loads(); got != 3 {
+		t.Fatalf("LoadRange emitted %d loads, want 3", got)
+	}
+	seen := map[mem.VAddr]bool{}
+	for _, op := range tr {
+		if op.Kind == Load {
+			if op.Addr != op.Addr.Line() {
+				t.Fatalf("load address %#x not line-aligned", uint64(op.Addr))
+			}
+			seen[op.Addr] = true
+		}
+	}
+	for _, want := range []mem.VAddr{0x1000, 0x1040, 0x1080} {
+		if !seen[want] {
+			t.Fatalf("line %#x not loaded", uint64(want))
+		}
+	}
+}
+
+func TestLoadRangeZero(t *testing.T) {
+	b := NewBuilder()
+	r := b.LoadRange(0x1000, 0, 5)
+	if r != 5 {
+		t.Fatalf("zero-size LoadRange should return base reg, got %d", r)
+	}
+	if b.Len() != 0 {
+		t.Fatal("zero-size LoadRange emitted ops")
+	}
+}
+
+func TestTempWrapsSkippingZero(t *testing.T) {
+	b := NewBuilder()
+	seen := map[Reg]bool{}
+	for i := 0; i < 3*NumRegs; i++ {
+		r := b.Temp()
+		if r == 0 {
+			t.Fatal("Temp() returned the zero register")
+		}
+		seen[r] = true
+	}
+	if len(seen) != NumRegs-1 {
+		t.Fatalf("Temp cycled through %d registers, want %d", len(seen), NumRegs-1)
+	}
+}
+
+func TestQueryDescCopied(t *testing.T) {
+	b := NewBuilder()
+	q := QueryDesc{HeaderAddr: 1, KeyAddr: 2, ResultAddr: 3, Tag: 9}
+	b.QueryNB(q)
+	q.Tag = 42 // mutate the original
+	tr := b.Take()
+	if tr[0].Query.Tag != 9 {
+		t.Fatal("builder aliased the caller's QueryDesc")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	b := NewBuilder()
+	b.Load(0x10, 8, 0)
+	b.ALU(0, 0)
+	b.ALUN(4, 0)
+	b.Mul(0, 0)
+	b.Branch(0, false)
+	b.Nop(2)
+	tr := b.Take()
+	c := tr.Counts()
+	if c[Load] != 1 || c[ALU] != 5 || c[MulALU] != 1 || c[Branch] != 1 || c[Nop] != 2 {
+		t.Fatalf("counts = %v", c)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Nop: "nop", ALU: "alu", MulALU: "mul", Load: "load", Store: "store",
+		Branch: "branch", QueryB: "query_b", QueryNB: "query_nb",
+	} {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

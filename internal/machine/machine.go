@@ -1,0 +1,138 @@
+// Package machine assembles the simulated chip: physical memory and a
+// process address space, the mesh NoC, the cache hierarchy with its NUCA
+// LLC, and per-core TLB hierarchies. Both the software baseline (via
+// CoreMemPort) and the QEI accelerator (via the scheme-specific ports in
+// package qei) run against one Machine instance, so they contend for and
+// warm the same caches — the property the paper's speedups depend on.
+package machine
+
+import (
+	"qei/internal/cache"
+	"qei/internal/cpu"
+	"qei/internal/mem"
+	"qei/internal/noc"
+	"qei/internal/tlb"
+)
+
+// Config selects the chip parameters (defaults follow Tab. II).
+type Config struct {
+	Cores int
+	// NoC geometry/timing.
+	Mesh noc.Config
+	// MemStops are the mesh stops hosting memory controllers.
+	MemStops []noc.Stop
+	// PageWalkLatency is the per-level cost of a hardware page walk.
+	PageWalkLatency uint64
+	// ContiguousFrames lays data out physically contiguously (the
+	// huge-page ablation); default false (fragmented, Sec. II-B).
+	ContiguousFrames bool
+}
+
+// DefaultConfig is the 24-core Skylake-SP-like chip of Tab. II.
+func DefaultConfig() Config {
+	m := noc.DefaultConfig()
+	// Calibrate per-hop costs so core→CHA round trips land in Tab. I's
+	// 40–60 cycle band for CHA-based schemes (avg ~4 hops from a corner
+	// core: 2×(4×1 + 5×2) ≈ 28 cycles round trip + port overheads).
+	m.HopLatency = 1
+	m.RouterLatency = 2
+	return Config{
+		Cores:           24,
+		Mesh:            m,
+		MemStops:        []noc.Stop{0, 5, 9, 14, 18, 23},
+		PageWalkLatency: 30,
+	}
+}
+
+// Machine is one simulated chip plus the process under test.
+type Machine struct {
+	Cfg  Config
+	Phys *mem.Physical
+	AS   *mem.AddressSpace
+	Mesh *noc.Mesh
+	Hier *cache.Hierarchy
+	// TLB holds one translation hierarchy per core.
+	TLB []*tlb.Hierarchy
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) *Machine {
+	phys := mem.NewPhysical()
+	var as *mem.AddressSpace
+	if cfg.ContiguousFrames {
+		as = mem.NewAddressSpace(phys, mem.WithContiguousFrames())
+	} else {
+		as = mem.NewAddressSpace(phys)
+	}
+	mesh := noc.New(cfg.Mesh)
+	hier := cache.NewHierarchy(cfg.Cores, mesh, cfg.MemStops)
+	m := &Machine{
+		Cfg:  cfg,
+		Phys: phys,
+		AS:   as,
+		Mesh: mesh,
+		Hier: hier,
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		m.TLB = append(m.TLB, tlb.NewHierarchy(as, cfg.PageWalkLatency))
+	}
+	return m
+}
+
+// NewDefault builds a machine with DefaultConfig.
+func NewDefault() *Machine { return New(DefaultConfig()) }
+
+// corePort adapts a core's TLB + cache path to cpu.MemPort.
+type corePort struct {
+	m    *Machine
+	core int
+}
+
+// Access translates a through the core's L1/L2 TLBs and performs the
+// cache access; latency composes translation and hierarchy costs.
+func (p corePort) Access(a mem.VAddr, write bool, issue uint64) (uint64, error) {
+	pa, tlat, err := p.m.TLB[p.core].Translate(a)
+	if err != nil {
+		return 0, err
+	}
+	kind := cache.Read
+	if write {
+		kind = cache.Write
+	}
+	r := p.m.Hier.CoreAccess(p.core, pa, kind)
+	return tlat + r.Latency, nil
+}
+
+// CoreMemPort returns the cpu.MemPort for the given core.
+func (m *Machine) CoreMemPort(core int) cpu.MemPort {
+	return corePort{m: m, core: core}
+}
+
+// NewCore builds a cpu.Core wired to this machine's memory system, with
+// the given accelerator port (nil for pure software runs).
+func (m *Machine) NewCore(core int, q cpu.QueryPort) *cpu.Core {
+	return cpu.New(cpu.DefaultConfig(), m.CoreMemPort(core), q)
+}
+
+// Translate resolves a virtual address without charging TLB state
+// (host-side utility for layout/debug purposes).
+func (m *Machine) Translate(a mem.VAddr) (mem.PAddr, error) {
+	return m.AS.Translate(a)
+}
+
+// WarmLLC brings every mapped cacheline in [start, end) into the shared
+// LLC, modelling the steady state of a long-running service whose data
+// structures are LLC-resident (the regime the paper evaluates). Private
+// caches are not touched. Unmapped pages in the range are skipped.
+func (m *Machine) WarmLLC(start, end mem.VAddr) {
+	llc := m.Hier.LLC()
+	for line := start.Line(); line < end; line += mem.LineSize {
+		pa, err := m.AS.Translate(line)
+		if err != nil {
+			// Skip the rest of this unmapped page.
+			line = mem.VAddr((line.Page()+1)<<mem.PageShift) - mem.LineSize
+			continue
+		}
+		llc.Slice(llc.SliceFor(pa)).Insert(pa, false)
+	}
+}

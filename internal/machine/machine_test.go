@@ -1,0 +1,135 @@
+package machine
+
+import (
+	"testing"
+
+	"qei/internal/isa"
+	"qei/internal/mem"
+	"qei/internal/noc"
+)
+
+func TestNewDefaultGeometry(t *testing.T) {
+	m := NewDefault()
+	if m.Cfg.Cores != 24 {
+		t.Fatalf("cores = %d, want 24", m.Cfg.Cores)
+	}
+	if got := m.Mesh.Stops(); got != 24 {
+		t.Fatalf("mesh stops = %d, want 24", got)
+	}
+	if got := m.Hier.LLC().Slices(); got != 24 {
+		t.Fatalf("LLC slices = %d, want 24", got)
+	}
+	if len(m.TLB) != 24 {
+		t.Fatalf("TLB hierarchies = %d, want 24", len(m.TLB))
+	}
+}
+
+func TestCoreMemPortColdVsWarm(t *testing.T) {
+	m := NewDefault()
+	a := m.AS.AllocLines(64)
+	port := m.CoreMemPort(0)
+	cold, err := port.Access(a, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := port.Access(a, false, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm >= cold {
+		t.Fatalf("warm access (%d) not faster than cold (%d)", warm, cold)
+	}
+	// Warm = L1 TLB hit (1) + L1D hit (4).
+	if warm != 5 {
+		t.Fatalf("warm access = %d cycles, want 5", warm)
+	}
+}
+
+func TestCoreMemPortFaults(t *testing.T) {
+	m := NewDefault()
+	if _, err := m.CoreMemPort(0).Access(mem.VAddr(0xbad0000), false, 0); err == nil {
+		t.Fatal("unmapped access did not fault")
+	}
+}
+
+func TestNewCoreRunsTrace(t *testing.T) {
+	m := NewDefault()
+	c := m.NewCore(1, nil)
+	b := isa.NewBuilder()
+	addr := m.AS.AllocLines(256)
+	for i := 0; i < 4; i++ {
+		b.Load(addr+mem.VAddr(i*64), 8, 0)
+	}
+	end := c.Run(b.Take())
+	if end == 0 || c.Err() != nil {
+		t.Fatalf("trace run failed: end=%d err=%v", end, c.Err())
+	}
+	if c.Stats().Loads != 4 {
+		t.Fatalf("loads = %d", c.Stats().Loads)
+	}
+}
+
+func TestCHALatencyBandMatchesTableI(t *testing.T) {
+	// Tab. I: core↔CHA accel latency 40-60 cycles. Check that a round
+	// trip between a core and a mid-distance slice plus the scheme's
+	// port overhead lands in that band.
+	m := NewDefault()
+	var total, n uint64
+	for s := 0; s < m.Mesh.Stops(); s++ {
+		total += m.Mesh.RoundTrip(0, noc.Stop(s))
+		n++
+	}
+	avg := total / n
+	// Average round trip plus the CHA port+reply overhead (18+10) should
+	// be in the 40-60 band.
+	withOverhead := avg + 28
+	if withOverhead < 40 || withOverhead > 60 {
+		t.Fatalf("CHA accel-core latency = %d, want within Tab. I band 40-60", withOverhead)
+	}
+}
+
+func TestContiguousOption(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ContiguousFrames = true
+	m := New(cfg)
+	a := m.AS.Alloc(64*mem.PageSize, mem.PageSize)
+	if !m.AS.Contiguous(a, 64*mem.PageSize) {
+		t.Fatal("ContiguousFrames config not honored")
+	}
+}
+
+func TestWarmLLCBringsLinesIn(t *testing.T) {
+	m := NewDefault()
+	a := m.AS.AllocLines(64 * mem.LineSize)
+	m.WarmLLC(a, a+64*mem.LineSize)
+	llc := m.Hier.LLC()
+	for i := 0; i < 64; i++ {
+		pa, err := m.AS.Translate(a + mem.VAddr(i*mem.LineSize))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !llc.Slice(llc.SliceFor(pa)).Contains(pa) {
+			t.Fatalf("line %d not resident after WarmLLC", i)
+		}
+	}
+	// Private caches must stay untouched.
+	for c := 0; c < m.Cfg.Cores; c++ {
+		h, mi, _, _ := m.Hier.L1D[c].Stats()
+		if h+mi != 0 {
+			t.Fatal("WarmLLC touched a private cache")
+		}
+	}
+}
+
+func TestWarmLLCSkipsUnmappedHoles(t *testing.T) {
+	m := NewDefault()
+	a := m.AS.AllocLines(mem.PageSize)
+	// Range extends past the mapped page into unmapped space; must not
+	// panic and must warm the mapped part.
+	m.WarmLLC(a, a+mem.VAddr(4*mem.PageSize))
+	pa, _ := m.AS.Translate(a)
+	llc := m.Hier.LLC()
+	if !llc.Slice(llc.SliceFor(pa)).Contains(pa) {
+		t.Fatal("mapped prefix not warmed")
+	}
+}

@@ -1,0 +1,379 @@
+// Package mem implements the simulated memory system underneath the QEI
+// reproduction: a sparse physical memory, per-process virtual address
+// spaces with 4 KB pages, a deliberately fragmenting frame allocator, and
+// hierarchical page tables.
+//
+// The memory is functional, not just a timing fiction: every data
+// structure the workloads query is laid out in these bytes, and both the
+// software baseline and the QEI accelerator read the same bytes, so query
+// results can be checked against host-side reference implementations.
+//
+// Fragmentation matters to the paper: QEI argues that queried data
+// structures rarely sit in one contiguous huge page [8, 26], which is why
+// the accelerator needs a real address-translation path. AddressSpace
+// therefore hands out physical frames in a shuffled order by default so
+// that virtually contiguous allocations are physically scattered.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	// PageSize is the size of a virtual memory page (4 KB, matching the
+	// paper's assumption that structures span many base pages).
+	PageSize = 4096
+	// PageShift is log2(PageSize).
+	PageShift = 12
+	// LineSize is the cacheline size (64 B), the granularity of QEI memory
+	// micro-operations (Sec. IV-B).
+	LineSize = 64
+	// LineShift is log2(LineSize).
+	LineShift = 6
+)
+
+// VAddr is a virtual address in a simulated address space.
+type VAddr uint64
+
+// PAddr is a physical address in simulated DRAM.
+type PAddr uint64
+
+// Line returns the address of the cacheline containing a.
+func (a VAddr) Line() VAddr { return a &^ (LineSize - 1) }
+
+// Page returns the virtual page number containing a.
+func (a VAddr) Page() uint64 { return uint64(a) >> PageShift }
+
+// Offset returns the offset of a within its page.
+func (a VAddr) Offset() uint64 { return uint64(a) & (PageSize - 1) }
+
+// Line returns the address of the cacheline containing p.
+func (p PAddr) Line() PAddr { return p &^ (LineSize - 1) }
+
+// Frame returns the physical frame number containing p.
+func (p PAddr) Frame() uint64 { return uint64(p) >> PageShift }
+
+// Physical is the machine's sparse physical memory: a pool of 4 KB frames
+// allocated on demand.
+type Physical struct {
+	frames    map[uint64][]byte
+	nextFrame uint64
+}
+
+// NewPhysical returns an empty physical memory. Frame 0 is reserved so a
+// zero PAddr can act as "unmapped".
+func NewPhysical() *Physical {
+	return &Physical{frames: make(map[uint64][]byte), nextFrame: 1}
+}
+
+// AllocFrame reserves the next physical frame and returns its number.
+func (p *Physical) AllocFrame() uint64 {
+	f := p.nextFrame
+	p.nextFrame++
+	return f
+}
+
+// FramesAllocated reports how many frames have been reserved.
+func (p *Physical) FramesAllocated() uint64 { return p.nextFrame - 1 }
+
+func (p *Physical) frame(f uint64) []byte {
+	b, ok := p.frames[f]
+	if !ok {
+		b = make([]byte, PageSize)
+		p.frames[f] = b
+	}
+	return b
+}
+
+// ByteAt returns the byte at physical address a.
+func (p *Physical) ByteAt(a PAddr) byte {
+	return p.frame(a.Frame())[uint64(a)&(PageSize-1)]
+}
+
+// SetByteAt stores b at physical address a.
+func (p *Physical) SetByteAt(a PAddr, b byte) {
+	p.frame(a.Frame())[uint64(a)&(PageSize-1)] = b
+}
+
+// Read copies len(dst) bytes starting at physical address a. The range may
+// cross frame boundaries.
+func (p *Physical) Read(a PAddr, dst []byte) {
+	for len(dst) > 0 {
+		off := uint64(a) & (PageSize - 1)
+		n := copy(dst, p.frame(a.Frame())[off:])
+		dst = dst[n:]
+		a += PAddr(n)
+	}
+}
+
+// Write copies src into physical memory starting at address a.
+func (p *Physical) Write(a PAddr, src []byte) {
+	for len(src) > 0 {
+		off := uint64(a) & (PageSize - 1)
+		n := copy(p.frame(a.Frame())[off:], src)
+		src = src[n:]
+		a += PAddr(n)
+	}
+}
+
+// PageFaultError reports an access to an unmapped virtual page. QEI
+// surfaces these to the core through its EXCEPTION state (Sec. IV-D).
+type PageFaultError struct {
+	Addr VAddr
+}
+
+func (e *PageFaultError) Error() string {
+	return fmt.Sprintf("mem: page fault at virtual address %#x", uint64(e.Addr))
+}
+
+// AddressSpace is a per-process virtual address space: a page table over
+// shared physical memory plus a simple bump allocator for virtual ranges.
+type AddressSpace struct {
+	phys *Physical
+	// pages maps virtual page number to physical frame number.
+	pages map[uint64]uint64
+	// brk is the next unallocated virtual address.
+	brk VAddr
+	// frameStride scatters consecutive virtual pages across physical
+	// frames. A stride of 1 would be the contiguous (huge-page-friendly)
+	// layout prior accelerators assume; the default of a large odd stride
+	// models the fragmented layouts cloud workloads actually see.
+	frameStride uint64
+	walkLevels  int
+}
+
+// ASOption configures an AddressSpace.
+type ASOption func(*AddressSpace)
+
+// WithContiguousFrames lays virtual pages out over physically consecutive
+// frames — the huge-page assumption made by HALO-style designs. Used by
+// ablation experiments.
+func WithContiguousFrames() ASOption {
+	return func(as *AddressSpace) { as.frameStride = 1 }
+}
+
+// WithBase sets the first virtual address handed out by Alloc.
+func WithBase(base VAddr) ASOption {
+	return func(as *AddressSpace) { as.brk = base }
+}
+
+// NewAddressSpace creates an address space over phys. By default virtual
+// allocations begin at 0x10000 (so that VAddr 0 is an unmapped NULL) and
+// physical frames are fragmented.
+func NewAddressSpace(phys *Physical, opts ...ASOption) *AddressSpace {
+	as := &AddressSpace{
+		phys:        phys,
+		pages:       make(map[uint64]uint64),
+		brk:         0x10000,
+		frameStride: 0, // 0 = on-demand, naturally interleaved
+		walkLevels:  4, // x86-64 style 4-level walk
+	}
+	for _, o := range opts {
+		o(as)
+	}
+	return as
+}
+
+// WalkLevels reports the number of page-table levels a hardware walker
+// traverses on a TLB miss (4, x86-64 style).
+func (as *AddressSpace) WalkLevels() int { return as.walkLevels }
+
+// Brk returns the next virtual address the allocator would hand out.
+func (as *AddressSpace) Brk() VAddr { return as.brk }
+
+// MappedPages reports how many virtual pages are mapped.
+func (as *AddressSpace) MappedPages() int { return len(as.pages) }
+
+// Alloc reserves size bytes of virtual memory aligned to align (which must
+// be a power of two, at least 1) and maps the backing pages. It returns
+// the starting virtual address.
+func (as *AddressSpace) Alloc(size uint64, align uint64) VAddr {
+	if align == 0 {
+		align = 1
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: alignment %d is not a power of two", align))
+	}
+	base := (uint64(as.brk) + align - 1) &^ (align - 1)
+	as.brk = VAddr(base + size)
+	if size == 0 {
+		return VAddr(base)
+	}
+	firstPage := base >> PageShift
+	lastPage := (base + size - 1) >> PageShift
+	for vp := firstPage; vp <= lastPage; vp++ {
+		as.mapPage(vp)
+	}
+	return VAddr(base)
+}
+
+// AllocLines reserves size bytes aligned to a cacheline boundary.
+func (as *AddressSpace) AllocLines(size uint64) VAddr {
+	return as.Alloc(size, LineSize)
+}
+
+func (as *AddressSpace) mapPage(vp uint64) {
+	if _, ok := as.pages[vp]; ok {
+		return
+	}
+	var frame uint64
+	if as.frameStride == 1 {
+		frame = as.phys.AllocFrame()
+	} else {
+		// Scatter: allocate a fresh frame but interleave with a second
+		// allocation every few pages so consecutive virtual pages land on
+		// non-consecutive frames. Deterministic, no RNG required.
+		frame = as.phys.AllocFrame()
+		if vp%3 == 1 {
+			// Burn a frame to create a hole; models other allocations
+			// interleaving in a long-running server.
+			as.phys.AllocFrame()
+		}
+	}
+	as.pages[vp] = frame
+}
+
+// Translate converts a virtual address to a physical address, or reports a
+// page fault if the page is unmapped.
+func (as *AddressSpace) Translate(a VAddr) (PAddr, error) {
+	frame, ok := as.pages[a.Page()]
+	if !ok {
+		return 0, &PageFaultError{Addr: a}
+	}
+	return PAddr(frame<<PageShift | a.Offset()), nil
+}
+
+// Contiguous reports whether the size-byte range at base maps to
+// physically consecutive frames (i.e. would fit a huge-page assumption).
+func (as *AddressSpace) Contiguous(base VAddr, size uint64) bool {
+	if size == 0 {
+		return true
+	}
+	first := base.Page()
+	last := (uint64(base) + size - 1) >> PageShift
+	prev, ok := as.pages[first]
+	if !ok {
+		return false
+	}
+	for vp := first + 1; vp <= last; vp++ {
+		f, ok := as.pages[vp]
+		if !ok || f != prev+1 {
+			return false
+		}
+		prev = f
+	}
+	return true
+}
+
+// Read copies len(dst) bytes from virtual address a, faulting if any page
+// in the range is unmapped.
+func (as *AddressSpace) Read(a VAddr, dst []byte) error {
+	for len(dst) > 0 {
+		pa, err := as.Translate(a)
+		if err != nil {
+			return err
+		}
+		n := int(PageSize - a.Offset())
+		if n > len(dst) {
+			n = len(dst)
+		}
+		as.phys.Read(pa, dst[:n])
+		dst = dst[n:]
+		a += VAddr(n)
+	}
+	return nil
+}
+
+// Write copies src to virtual address a, faulting if unmapped.
+func (as *AddressSpace) Write(a VAddr, src []byte) error {
+	for len(src) > 0 {
+		pa, err := as.Translate(a)
+		if err != nil {
+			return err
+		}
+		n := int(PageSize - a.Offset())
+		if n > len(src) {
+			n = len(src)
+		}
+		as.phys.Write(pa, src[:n])
+		src = src[n:]
+		a += VAddr(n)
+	}
+	return nil
+}
+
+// MustRead is Read but panics on fault; for use by builders that have just
+// allocated the range themselves.
+func (as *AddressSpace) MustRead(a VAddr, dst []byte) {
+	if err := as.Read(a, dst); err != nil {
+		panic(err)
+	}
+}
+
+// MustWrite is Write but panics on fault.
+func (as *AddressSpace) MustWrite(a VAddr, src []byte) {
+	if err := as.Write(a, src); err != nil {
+		panic(err)
+	}
+}
+
+// ReadU64 reads a little-endian uint64 at a.
+func (as *AddressSpace) ReadU64(a VAddr) (uint64, error) {
+	var buf [8]byte
+	if err := as.Read(a, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+// WriteU64 writes a little-endian uint64 at a.
+func (as *AddressSpace) WriteU64(a VAddr, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return as.Write(a, buf[:])
+}
+
+// ReadU32 reads a little-endian uint32 at a.
+func (as *AddressSpace) ReadU32(a VAddr) (uint32, error) {
+	var buf [4]byte
+	if err := as.Read(a, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+// WriteU32 writes a little-endian uint32 at a.
+func (as *AddressSpace) WriteU32(a VAddr, v uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	return as.Write(a, buf[:])
+}
+
+// ReadU16 reads a little-endian uint16 at a.
+func (as *AddressSpace) ReadU16(a VAddr) (uint16, error) {
+	var buf [2]byte
+	if err := as.Read(a, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(buf[:]), nil
+}
+
+// WriteU16 writes a little-endian uint16 at a.
+func (as *AddressSpace) WriteU16(a VAddr, v uint16) error {
+	var buf [2]byte
+	binary.LittleEndian.PutUint16(buf[:], v)
+	return as.Write(a, buf[:])
+}
+
+// LinesTouched returns how many distinct cachelines the byte range
+// [a, a+size) spans — the number of memory micro-operations QEI needs to
+// stream it.
+func LinesTouched(a VAddr, size uint64) int {
+	if size == 0 {
+		return 0
+	}
+	first := uint64(a) >> LineShift
+	last := (uint64(a) + size - 1) >> LineShift
+	return int(last - first + 1)
+}

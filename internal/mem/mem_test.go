@@ -1,0 +1,233 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPhysicalReadWriteRoundTrip(t *testing.T) {
+	p := NewPhysical()
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	// Straddle a frame boundary deliberately.
+	addr := PAddr(PageSize - 10)
+	p.Write(addr, data)
+	got := make([]byte, len(data))
+	p.Read(addr, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: got %q want %q", got, data)
+	}
+}
+
+func TestPhysicalZeroFill(t *testing.T) {
+	p := NewPhysical()
+	if b := p.ByteAt(PAddr(12345)); b != 0 {
+		t.Fatalf("fresh memory reads %d, want 0", b)
+	}
+}
+
+func TestAllocMapsPages(t *testing.T) {
+	p := NewPhysical()
+	as := NewAddressSpace(p)
+	a := as.Alloc(3*PageSize+100, 64)
+	if a == 0 {
+		t.Fatal("Alloc returned NULL")
+	}
+	if uint64(a)%64 != 0 {
+		t.Fatalf("Alloc returned unaligned address %#x", uint64(a))
+	}
+	// Every page of the range must translate.
+	for off := uint64(0); off < 3*PageSize+100; off += PageSize {
+		if _, err := as.Translate(a + VAddr(off)); err != nil {
+			t.Fatalf("Translate(%#x): %v", uint64(a)+off, err)
+		}
+	}
+}
+
+func TestUnmappedPageFaults(t *testing.T) {
+	as := NewAddressSpace(NewPhysical())
+	_, err := as.Translate(VAddr(0xdead0000))
+	var pf *PageFaultError
+	if err == nil {
+		t.Fatal("expected page fault")
+	}
+	if !asPageFault(err, &pf) {
+		t.Fatalf("error %v is not a PageFaultError", err)
+	}
+	if pf.Addr != VAddr(0xdead0000) {
+		t.Fatalf("fault address %#x, want 0xdead0000", uint64(pf.Addr))
+	}
+}
+
+func asPageFault(err error, out **PageFaultError) bool {
+	pf, ok := err.(*PageFaultError)
+	if ok {
+		*out = pf
+	}
+	return ok
+}
+
+func TestVirtualReadWriteAcrossPages(t *testing.T) {
+	as := NewAddressSpace(NewPhysical())
+	a := as.Alloc(4*PageSize, PageSize)
+	data := make([]byte, 2*PageSize+37)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	start := a + VAddr(PageSize-19)
+	if err := as.Write(start, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := as.Read(start, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page round trip mismatch")
+	}
+}
+
+func TestFragmentedByDefault(t *testing.T) {
+	as := NewAddressSpace(NewPhysical())
+	a := as.Alloc(64*PageSize, PageSize)
+	if as.Contiguous(a, 64*PageSize) {
+		t.Fatal("default allocation should be physically fragmented")
+	}
+}
+
+func TestContiguousOption(t *testing.T) {
+	as := NewAddressSpace(NewPhysical(), WithContiguousFrames())
+	a := as.Alloc(64*PageSize, PageSize)
+	if !as.Contiguous(a, 64*PageSize) {
+		t.Fatal("WithContiguousFrames allocation should be physically contiguous")
+	}
+}
+
+func TestScalarAccessors(t *testing.T) {
+	as := NewAddressSpace(NewPhysical())
+	a := as.Alloc(64, 8)
+	if err := as.WriteU64(a, 0x1122334455667788); err != nil {
+		t.Fatal(err)
+	}
+	v, err := as.ReadU64(a)
+	if err != nil || v != 0x1122334455667788 {
+		t.Fatalf("ReadU64 = %#x, %v", v, err)
+	}
+	if err := as.WriteU32(a+8, 0xcafebabe); err != nil {
+		t.Fatal(err)
+	}
+	v32, err := as.ReadU32(a + 8)
+	if err != nil || v32 != 0xcafebabe {
+		t.Fatalf("ReadU32 = %#x, %v", v32, err)
+	}
+	if err := as.WriteU16(a+12, 0xbeef); err != nil {
+		t.Fatal(err)
+	}
+	v16, err := as.ReadU16(a + 12)
+	if err != nil || v16 != 0xbeef {
+		t.Fatalf("ReadU16 = %#x, %v", v16, err)
+	}
+}
+
+func TestAllocationsDoNotOverlap(t *testing.T) {
+	as := NewAddressSpace(NewPhysical())
+	a := as.Alloc(100, 1)
+	b := as.Alloc(100, 1)
+	if uint64(b) < uint64(a)+100 {
+		t.Fatalf("allocations overlap: a=%#x b=%#x", uint64(a), uint64(b))
+	}
+	as.MustWrite(a, bytes.Repeat([]byte{0xaa}, 100))
+	as.MustWrite(b, bytes.Repeat([]byte{0xbb}, 100))
+	got := make([]byte, 100)
+	as.MustRead(a, got)
+	for _, c := range got {
+		if c != 0xaa {
+			t.Fatal("write to b clobbered a")
+		}
+	}
+}
+
+func TestLinesTouched(t *testing.T) {
+	cases := []struct {
+		addr VAddr
+		size uint64
+		want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 64, 1},
+		{0, 65, 2},
+		{63, 2, 2},
+		{64, 64, 1},
+		{10, 128, 3},
+	}
+	for _, c := range cases {
+		if got := LinesTouched(c.addr, c.size); got != c.want {
+			t.Errorf("LinesTouched(%d, %d) = %d, want %d", c.addr, c.size, got, c.want)
+		}
+	}
+}
+
+func TestLineAndPageHelpers(t *testing.T) {
+	a := VAddr(0x12345)
+	if a.Line() != VAddr(0x12340) {
+		t.Fatalf("Line() = %#x", uint64(a.Line()))
+	}
+	if a.Page() != 0x12 {
+		t.Fatalf("Page() = %#x", a.Page())
+	}
+	if a.Offset() != 0x345 {
+		t.Fatalf("Offset() = %#x", a.Offset())
+	}
+	p := PAddr(0x54321)
+	if p.Line() != PAddr(0x54300) {
+		t.Fatalf("PAddr.Line() = %#x", uint64(p.Line()))
+	}
+	if p.Frame() != 0x54 {
+		t.Fatalf("PAddr.Frame() = %#x", p.Frame())
+	}
+}
+
+// Property: any written payload at any in-range offset reads back intact.
+func TestPropertyRoundTrip(t *testing.T) {
+	as := NewAddressSpace(NewPhysical())
+	region := as.Alloc(1<<20, PageSize) // 1 MiB playground
+	f := func(off uint32, payload []byte) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		start := region + VAddr(uint64(off)%(1<<20-uint64(len(payload))%(1<<20)))
+		if uint64(start)+uint64(len(payload)) > uint64(region)+1<<20 {
+			return true // skip out-of-range combos
+		}
+		if err := as.Write(start, payload); err != nil {
+			return false
+		}
+		got := make([]byte, len(payload))
+		if err := as.Read(start, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: translation is a bijection per page — two distinct mapped
+// virtual pages never share a physical frame.
+func TestPropertyNoFrameAliasing(t *testing.T) {
+	as := NewAddressSpace(NewPhysical())
+	seen := map[uint64]uint64{}
+	for i := 0; i < 200; i++ {
+		a := as.Alloc(PageSize, PageSize)
+		pa, err := as.Translate(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[pa.Frame()]; dup {
+			t.Fatalf("frame %d backs both vpage %d and vpage %d", pa.Frame(), prev, a.Page())
+		}
+		seen[pa.Frame()] = a.Page()
+	}
+}

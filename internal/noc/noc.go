@@ -1,0 +1,235 @@
+// Package noc models the on-chip mesh network connecting core tiles, LLC
+// slices (via their CHAs), memory controllers, and — in the Device-based
+// integration schemes — a centralized accelerator stop.
+//
+// The model is latency- and bandwidth-oriented rather than flit-accurate:
+// a transfer between two stops costs a per-hop latency plus a router
+// latency, and every link it crosses accrues the transferred bytes so that
+// hotspot and utilization analyses (Sec. V, "each QEI accelerator can
+// saturate as much as 8% of the mesh NoC bandwidth") can be reproduced.
+// XY dimension-ordered routing keeps paths deterministic.
+package noc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stop identifies a network stop (tile) on the mesh.
+type Stop int
+
+// Config describes the mesh geometry and timing.
+type Config struct {
+	// Cols and Rows give the mesh dimensions. Stops are numbered
+	// row-major: stop = row*Cols + col.
+	Cols, Rows int
+	// HopLatency is the cycles to traverse one link.
+	HopLatency uint64
+	// RouterLatency is the cycles spent in each router on the path
+	// (including the injection router).
+	RouterLatency uint64
+	// LinkBytesPerCycle is the bandwidth of one mesh link in bytes/cycle.
+	LinkBytesPerCycle float64
+}
+
+// DefaultConfig is a 6x4 mesh (24 stops) approximating a Skylake-SP die,
+// 1 cycle per hop, 1 cycle per router, 32 B/cycle links.
+func DefaultConfig() Config {
+	return Config{
+		Cols:              6,
+		Rows:              4,
+		HopLatency:        1,
+		RouterLatency:     1,
+		LinkBytesPerCycle: 32,
+	}
+}
+
+// link is a directed edge between adjacent stops.
+type link struct {
+	from, to Stop
+}
+
+// Mesh is a 2-D mesh NoC.
+type Mesh struct {
+	cfg       Config
+	linkBytes map[link]uint64
+	// totalCycles tracks the window over which utilization is measured.
+	windowCycles uint64
+}
+
+// New creates a mesh with the given configuration.
+func New(cfg Config) *Mesh {
+	if cfg.Cols <= 0 || cfg.Rows <= 0 {
+		panic("noc: mesh dimensions must be positive")
+	}
+	return &Mesh{cfg: cfg, linkBytes: make(map[link]uint64)}
+}
+
+// Config returns the mesh configuration.
+func (m *Mesh) Config() Config { return m.cfg }
+
+// Stops returns the number of stops on the mesh.
+func (m *Mesh) Stops() int { return m.cfg.Cols * m.cfg.Rows }
+
+// Coord returns the (col, row) coordinates of a stop.
+func (m *Mesh) Coord(s Stop) (col, row int) {
+	if int(s) < 0 || int(s) >= m.Stops() {
+		panic(fmt.Sprintf("noc: stop %d out of range [0,%d)", s, m.Stops()))
+	}
+	return int(s) % m.cfg.Cols, int(s) / m.cfg.Cols
+}
+
+// StopAt returns the stop at (col, row).
+func (m *Mesh) StopAt(col, row int) Stop {
+	if col < 0 || col >= m.cfg.Cols || row < 0 || row >= m.cfg.Rows {
+		panic(fmt.Sprintf("noc: coordinate (%d,%d) out of range", col, row))
+	}
+	return Stop(row*m.cfg.Cols + col)
+}
+
+// Hops returns the Manhattan distance between two stops.
+func (m *Mesh) Hops(a, b Stop) int {
+	ac, ar := m.Coord(a)
+	bc, br := m.Coord(b)
+	return abs(ac-bc) + abs(ar-br)
+}
+
+// Latency returns the one-way latency in cycles for a message from a to b.
+// A message to the local stop still pays one router traversal.
+func (m *Mesh) Latency(a, b Stop) uint64 {
+	hops := uint64(m.Hops(a, b))
+	routers := hops + 1
+	return hops*m.cfg.HopLatency + routers*m.cfg.RouterLatency
+}
+
+// RoundTrip returns the request+response latency between two stops.
+func (m *Mesh) RoundTrip(a, b Stop) uint64 {
+	return 2 * m.Latency(a, b)
+}
+
+// path returns the XY route from a to b as a sequence of stops.
+func (m *Mesh) path(a, b Stop) []Stop {
+	ac, ar := m.Coord(a)
+	bc, br := m.Coord(b)
+	route := []Stop{a}
+	c, r := ac, ar
+	for c != bc {
+		if c < bc {
+			c++
+		} else {
+			c--
+		}
+		route = append(route, m.StopAt(c, r))
+	}
+	for r != br {
+		if r < br {
+			r++
+		} else {
+			r--
+		}
+		route = append(route, m.StopAt(c, r))
+	}
+	return route
+}
+
+// Send accounts a transfer of bytes from a to b along the XY route and
+// returns its one-way latency. Timing is returned, not scheduled; callers
+// compose it with the sim engine.
+func (m *Mesh) Send(a, b Stop, bytes uint64) uint64 {
+	route := m.path(a, b)
+	for i := 0; i+1 < len(route); i++ {
+		m.linkBytes[link{route[i], route[i+1]}] += bytes
+	}
+	return m.Latency(a, b)
+}
+
+// ObserveWindow extends the utilization-measurement window to cycles.
+func (m *Mesh) ObserveWindow(cycles uint64) {
+	if cycles > m.windowCycles {
+		m.windowCycles = cycles
+	}
+}
+
+// TotalBytes returns the bytes moved across all links since the last
+// reset, independent of the observation window.
+func (m *Mesh) TotalBytes() uint64 {
+	var total uint64
+	for _, b := range m.linkBytes {
+		total += b
+	}
+	return total
+}
+
+// LinkUtilization returns the utilization (0..1+) of the busiest link over
+// the observed window, and the total bytes moved across all links.
+func (m *Mesh) LinkUtilization() (peak float64, totalBytes uint64) {
+	if m.windowCycles == 0 {
+		return 0, 0
+	}
+	capacity := float64(m.windowCycles) * m.cfg.LinkBytesPerCycle
+	for _, b := range m.linkBytes {
+		totalBytes += b
+		if u := float64(b) / capacity; u > peak {
+			peak = u
+		}
+	}
+	return peak, totalBytes
+}
+
+// MeanUtilization returns the average utilization across all physical
+// links of the mesh (including idle ones).
+func (m *Mesh) MeanUtilization() float64 {
+	if m.windowCycles == 0 {
+		return 0
+	}
+	nLinks := 2 * (m.cfg.Rows*(m.cfg.Cols-1) + m.cfg.Cols*(m.cfg.Rows-1))
+	if nLinks == 0 {
+		return 0
+	}
+	var total uint64
+	for _, b := range m.linkBytes {
+		total += b
+	}
+	capacity := float64(m.windowCycles) * m.cfg.LinkBytesPerCycle * float64(nLinks)
+	return float64(total) / capacity
+}
+
+// HotspotReport lists the n busiest links, descending by bytes.
+type HotspotEntry struct {
+	From, To Stop
+	Bytes    uint64
+}
+
+// Hotspots returns the n busiest links.
+func (m *Mesh) Hotspots(n int) []HotspotEntry {
+	entries := make([]HotspotEntry, 0, len(m.linkBytes))
+	for l, b := range m.linkBytes {
+		entries = append(entries, HotspotEntry{From: l.from, To: l.to, Bytes: b})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Bytes != entries[j].Bytes {
+			return entries[i].Bytes > entries[j].Bytes
+		}
+		if entries[i].From != entries[j].From {
+			return entries[i].From < entries[j].From
+		}
+		return entries[i].To < entries[j].To
+	})
+	if n < len(entries) {
+		entries = entries[:n]
+	}
+	return entries
+}
+
+// ResetTraffic clears accumulated traffic counters (geometry unchanged).
+func (m *Mesh) ResetTraffic() {
+	m.linkBytes = make(map[link]uint64)
+	m.windowCycles = 0
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,90 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func within(got, want, tol float64) bool {
+	return math.Abs(got-want)/want <= tol
+}
+
+func TestTableIIIMatchesPaper(t *testing.T) {
+	rows := Default().TableIII()
+	if len(rows) != 3 {
+		t.Fatalf("TableIII has %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if !within(r.AreaMM2, r.PaperAreaMM2, 0.03) {
+			t.Errorf("%s: area %.4f mm², paper %.4f (off by >3%%)", r.Config, r.AreaMM2, r.PaperAreaMM2)
+		}
+		if !within(r.StaticMW, r.PaperStaticMW, 0.03) {
+			t.Errorf("%s: static %.4f mW, paper %.4f (off by >3%%)", r.Config, r.StaticMW, r.PaperStaticMW)
+		}
+	}
+}
+
+func TestTLBDominatesQEI10Area(t *testing.T) {
+	m := Default()
+	base, _ := m.QEIArea(10, 2, false)
+	tlbA, _ := m.TLBArea()
+	// Sec. VII-D: "the extra TLB incurs significant overhead" — the TLB
+	// is bigger than the whole QEI-10 accelerator.
+	if tlbA <= base {
+		t.Fatalf("TLB area %.4f should exceed QEI-10 area %.4f", tlbA, base)
+	}
+}
+
+func TestAreaScalesWithQST(t *testing.T) {
+	m := Default()
+	a10, p10 := m.QEIArea(10, 2, false)
+	a240, p240 := m.QEIArea(240, 10, false)
+	if a240 <= a10 || p240 <= p10 {
+		t.Fatal("larger configuration must cost more")
+	}
+	// Total overhead remains negligible vs an 18 mm² core tile (Sec. VII-D).
+	if a240 > 18*0.1 {
+		t.Fatalf("QEI-240 area %.4f mm² exceeds 10%% of a core tile", a240)
+	}
+}
+
+func TestDynamicEnergyMonotonic(t *testing.T) {
+	m := Default()
+	small := m.DynamicEnergyNJ(Activity{Instructions: 100, L1Accesses: 30})
+	big := m.DynamicEnergyNJ(Activity{Instructions: 1000, L1Accesses: 300})
+	if big <= small {
+		t.Fatal("more activity must cost more energy")
+	}
+	if m.DynamicEnergyNJ(Activity{}) != 0 {
+		t.Fatal("no activity should cost nothing")
+	}
+}
+
+func TestDRAMDominatesPerAccess(t *testing.T) {
+	m := Default()
+	if !(m.DRAMAccessEnergy > m.LLCAccessEnergy &&
+		m.LLCAccessEnergy > m.L2AccessEnergy &&
+		m.L2AccessEnergy > m.L1AccessEnergy) {
+		t.Fatal("per-access energy must grow down the hierarchy")
+	}
+}
+
+func TestQEIQueryCheaperThanSoftwareQuery(t *testing.T) {
+	m := Default()
+	// Representative per-query activity: software spends ~300 µops and
+	// ~40 L1 + 10 L2 + 6 LLC accesses; QEI spends ~40 transitions, the
+	// same downstream accesses, no L1, no frontend.
+	sw := m.DynamicEnergyNJ(Activity{
+		Instructions: 300, Mispredicts: 2,
+		L1Accesses: 40, L2Accesses: 10, LLCAccesses: 6, DRAMAccesses: 1,
+	})
+	hw := m.DynamicEnergyNJ(Activity{
+		Transitions: 40, Compare8Bs: 8, Hash8Bs: 2, TLBLookups: 12,
+		L2Accesses: 10, LLCAccesses: 6, DRAMAccesses: 1, NoCBytes: 200,
+	})
+	ratio := hw / sw
+	// Fig. 12: accelerators cut >60% of per-query dynamic power.
+	if ratio > 0.4 {
+		t.Fatalf("QEI/software energy ratio = %.2f, want <= 0.4", ratio)
+	}
+}

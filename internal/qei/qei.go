@@ -1,0 +1,751 @@
+// Package qei implements the QEI accelerator microarchitecture of
+// Sec. IV: the Query State Table (QST) holding in-flight queries, the
+// CFA Execution Engine (CEE) interpreting per-type firmware from package
+// cfa, and the Data Processing Unit (DPU) with its ALUs, hashing unit,
+// and comparators — including the remote comparators distributed into
+// the CHAs by the Core-integrated and CHA-based schemes (Sec. V-A).
+//
+// Timing is compositional, matching the cpu package: IssueBlocking and
+// IssueNonBlocking take the cycle at which the core hands over the query
+// and return the cycle at which the result comes back (or is accepted).
+// Internally the accelerator books shared resources — QST slots, the
+// one-transition-per-cycle CEE, comparator sites — through monotonic
+// next-free timelines, which models the paper's "pipelined CFAs in an
+// out-of-order fashion": while one query waits on memory, the CEE works
+// on another whose data is ready (Sec. IV-B).
+package qei
+
+import (
+	"fmt"
+
+	"qei/internal/cache"
+	"qei/internal/cfa"
+	"qei/internal/dstruct"
+	"qei/internal/isa"
+	"qei/internal/machine"
+	"qei/internal/mem"
+	"qei/internal/noc"
+	"qei/internal/scheme"
+	"qei/internal/tlb"
+)
+
+// Stats accumulates accelerator activity for performance and power
+// analysis.
+type Stats struct {
+	Queries        uint64
+	NonBlocking    uint64
+	Transitions    uint64 // CEE state-handler invocations
+	MemOps         uint64 // memory micro-ops
+	MemLines       uint64 // cachelines fetched
+	LocalCompares  uint64
+	RemoteCompares uint64
+	CompareBytes   uint64
+	HashOps        uint64
+	ALUOps         uint64
+	Exceptions     uint64
+	Flushes        uint64
+	AbortedNB      uint64
+	// QSTStallCycles accumulates cycles queries waited for a free entry.
+	QSTStallCycles uint64
+	// BusyEntryCycles sums per-query residency; divided by makespan it
+	// gives average QST occupancy.
+	BusyEntryCycles uint64
+	FirstIssue      uint64
+	LastFinish      uint64
+	// TranslationCycles sums address-translation latency charged.
+	TranslationCycles uint64
+	// DataAccessCycles sums data-path latency charged.
+	DataAccessCycles uint64
+}
+
+// Occupancy returns the average number of busy QST entries over the
+// accelerator's active window.
+func (s Stats) Occupancy() float64 {
+	if s.LastFinish <= s.FirstIssue {
+		return 0
+	}
+	return float64(s.BusyEntryCycles) / float64(s.LastFinish-s.FirstIssue)
+}
+
+// Sub returns the counter difference s - prev for windowed measurement.
+// The FirstIssue/LastFinish window is left at the later snapshot's span
+// beyond the earlier one.
+func (s Stats) Sub(prev Stats) Stats {
+	d := Stats{
+		Queries:           s.Queries - prev.Queries,
+		NonBlocking:       s.NonBlocking - prev.NonBlocking,
+		Transitions:       s.Transitions - prev.Transitions,
+		MemOps:            s.MemOps - prev.MemOps,
+		MemLines:          s.MemLines - prev.MemLines,
+		LocalCompares:     s.LocalCompares - prev.LocalCompares,
+		RemoteCompares:    s.RemoteCompares - prev.RemoteCompares,
+		CompareBytes:      s.CompareBytes - prev.CompareBytes,
+		HashOps:           s.HashOps - prev.HashOps,
+		ALUOps:            s.ALUOps - prev.ALUOps,
+		Exceptions:        s.Exceptions - prev.Exceptions,
+		Flushes:           s.Flushes - prev.Flushes,
+		AbortedNB:         s.AbortedNB - prev.AbortedNB,
+		QSTStallCycles:    s.QSTStallCycles - prev.QSTStallCycles,
+		BusyEntryCycles:   s.BusyEntryCycles - prev.BusyEntryCycles,
+		TranslationCycles: s.TranslationCycles - prev.TranslationCycles,
+		DataAccessCycles:  s.DataAccessCycles - prev.DataAccessCycles,
+		FirstIssue:        prev.LastFinish,
+		LastFinish:        s.LastFinish,
+	}
+	return d
+}
+
+// Result is the architectural outcome of one query, delivered through
+// the Result Queue (blocking) or the result memory address
+// (non-blocking).
+type Result struct {
+	Found bool
+	Value uint64
+	// Matches holds trie-scan outputs.
+	Matches []uint64
+	// Fault carries the exception reported to software (Sec. IV-D).
+	Fault error
+	// Done is the completion cycle.
+	Done uint64
+	// Aborted marks non-blocking queries flushed by an interrupt.
+	Aborted bool
+}
+
+// instance is one accelerator instance (one per CHA for the CHA-based
+// schemes, one per core for Core-integrated, one chip-wide for devices).
+type instance struct {
+	stop    noc.Stop
+	qstRing []uint64 // completion cycle of entry (seq % size)
+	qstSeq  uint64
+	// lastCEECycle is the most recent cycle a transition was issued, used
+	// to charge a conflict cycle when two entries contend for the CEE.
+	lastCEECycle uint64
+	tlb          *tlb.TLB    // dedicated TLB (TransDedicated), else nil
+	walker       *tlb.Walker // page walker for the dedicated TLB
+}
+
+// Accelerator is a QEI accelerator complex configured for one
+// integration scheme.
+type Accelerator struct {
+	m    *machine.Machine
+	p    scheme.Params
+	reg  *cfa.Registry
+	core int // serving core (single-threaded evaluation, Sec. VI-B)
+
+	inst []*instance
+	// comparator next-free timelines: [site][unit]. Site = LLC slice for
+	// remote comparators, instance index for local DPU comparators.
+	remoteComp [][]uint64
+	localComp  [][]uint64
+
+	results map[uint64]Result
+	// nbInFlight tracks non-blocking queries for interrupt flushes.
+	nbInFlight map[uint64]nbRecord
+
+	// traceOn/spans collect query timelines for ExportChromeTrace.
+	traceOn bool
+	spans   []Span
+
+	stats Stats
+}
+
+// New builds an accelerator for the given machine, scheme, firmware
+// registry, and serving core.
+func New(m *machine.Machine, p scheme.Params, reg *cfa.Registry, core int) *Accelerator {
+	a := &Accelerator{
+		m: m, p: p, reg: reg, core: core,
+		results:    make(map[uint64]Result),
+		nbInFlight: make(map[uint64]nbRecord),
+	}
+	for i := 0; i < p.Instances; i++ {
+		ins := &instance{
+			qstRing: make([]uint64, p.QSTEntriesPerInstance),
+		}
+		switch p.Kind {
+		case scheme.CoreIntegrated:
+			ins.stop = m.Hier.CoreStop(core)
+		case scheme.CHATLB, scheme.CHANoTLB:
+			ins.stop = noc.Stop(i) // one per CHA/slice tile
+		default:
+			// Device schemes occupy a dedicated stop: the last mesh stop
+			// (a corner, maximizing average distance — the hotspot).
+			ins.stop = noc.Stop(m.Mesh.Stops() - 1)
+		}
+		if p.Translation == scheme.TransDedicated {
+			ins.tlb = tlb.New(p.DedicatedTLB)
+			ins.walker = tlb.NewWalker(m.AS, m.Cfg.PageWalkLatency)
+		}
+		a.inst = append(a.inst, ins)
+	}
+	a.remoteComp = make([][]uint64, m.Hier.LLC().Slices())
+	for i := range a.remoteComp {
+		a.remoteComp[i] = make([]uint64, p.ComparatorsPerSite)
+	}
+	a.localComp = make([][]uint64, p.Instances)
+	for i := range a.localComp {
+		a.localComp[i] = make([]uint64, p.ComparatorsPerSite)
+	}
+	return a
+}
+
+// ViewForCore returns an accelerator view bound to another issuing core.
+// The view SHARES the underlying hardware — QST instances, CEE
+// timelines, dedicated TLBs, and comparators — so queries from multiple
+// cores contend for the same resources, but it keeps its own result
+// bookkeeping and statistics. This models the CHA-based and Device-based
+// schemes, whose accelerators are chip-shared (Sec. V); the
+// Core-integrated scheme instead instantiates a private accelerator per
+// core (use New per core).
+func (a *Accelerator) ViewForCore(core int) *Accelerator {
+	return &Accelerator{
+		m: a.m, p: a.p, reg: a.reg, core: core,
+		inst:       a.inst,
+		remoteComp: a.remoteComp,
+		localComp:  a.localComp,
+		results:    make(map[uint64]Result),
+		nbInFlight: make(map[uint64]nbRecord),
+	}
+}
+
+// Params returns the scheme configuration.
+func (a *Accelerator) Params() scheme.Params { return a.p }
+
+// Stats returns accumulated statistics.
+func (a *Accelerator) Stats() Stats { return a.stats }
+
+// Result returns the architectural result recorded for tag.
+func (a *Accelerator) Result(tag uint64) (Result, bool) {
+	r, ok := a.results[tag]
+	return r, ok
+}
+
+// pickInstance distributes queries across instances. Following HALO's
+// NUCA-aware dispatch, CHA schemes route each query to the instance in
+// the CHA that owns the query's first data access — the primary bucket
+// for hash structures, the root node otherwise — so that access is
+// slice-local. The issuing core can compute this cheaply: for hash
+// structures it is the same hash the query needs anyway. Single-instance
+// schemes always use instance 0.
+func (a *Accelerator) pickInstance(q *isa.QueryDesc) *instance {
+	if len(a.inst) == 1 {
+		return a.inst[0]
+	}
+	target := a.firstDataAddr(q)
+	pa, err := a.m.AS.Translate(target)
+	if err != nil {
+		return a.inst[0]
+	}
+	return a.inst[a.m.Hier.LLC().SliceFor(pa)%len(a.inst)]
+}
+
+// firstDataAddr computes the first structure address a query touches.
+func (a *Accelerator) firstDataAddr(q *isa.QueryDesc) mem.VAddr {
+	hdr, err := dstruct.ReadHeader(a.m.AS, q.HeaderAddr)
+	if err != nil {
+		return q.KeyAddr
+	}
+	switch hdr.Type {
+	case dstruct.TypeCuckoo:
+		keyLen := int(hdr.KeyLen)
+		if q.KeyLen != 0 {
+			keyLen = int(q.KeyLen)
+		}
+		key := make([]byte, keyLen)
+		if err := a.m.AS.Read(q.KeyAddr, key); err != nil {
+			return q.KeyAddr
+		}
+		h1, _ := dstruct.CuckooHashes(key, hdr.Aux2, hdr.Aux)
+		return dstruct.EntryAddr(hdr, h1, 0)
+	case dstruct.TypeHashTable:
+		keyLen := int(hdr.KeyLen)
+		key := make([]byte, keyLen)
+		if err := a.m.AS.Read(q.KeyAddr, key); err != nil {
+			return q.KeyAddr
+		}
+		return dstruct.HashBucketSlot(hdr, key)
+	default:
+		if hdr.Root != 0 {
+			return hdr.Root
+		}
+		return q.KeyAddr
+	}
+}
+
+// IssueBlocking implements cpu.QueryPort: QUERY_B behaves like a
+// long-latency load (Sec. IV-C).
+func (a *Accelerator) IssueBlocking(q *isa.QueryDesc, issue uint64) (uint64, error) {
+	ins := a.pickInstance(q)
+	arrive := issue + a.p.PortOverhead + a.requestHop(ins, 16)
+	finish := a.execute(ins, q, arrive)
+	ret := finish + a.p.ReplyOverhead + a.responseHop(ins, 16)
+	if r, ok := a.results[q.Tag]; ok {
+		r.Done = ret
+		a.results[q.Tag] = r
+	}
+	return ret, nil
+}
+
+// IssueNonBlocking implements cpu.QueryPort: QUERY_NB behaves like a
+// store and retires once the accelerator accepts it; the result is
+// written to q.ResultAddr when the query completes (Sec. IV-A).
+func (a *Accelerator) IssueNonBlocking(q *isa.QueryDesc, issue uint64) (uint64, error) {
+	if q.ResultAddr == 0 {
+		return 0, fmt.Errorf("qei: non-blocking query %d without result address", q.Tag)
+	}
+	ins := a.pickInstance(q)
+	arrive := issue + a.p.PortOverhead + a.requestHop(ins, 24)
+	accepted := arrive + 1
+	a.stats.NonBlocking++
+	finish := a.execute(ins, q, arrive)
+	// Write the result (flag+value, one line) to the designated address.
+	r := a.results[q.Tag]
+	wlat, err := a.dataAccess(ins, q.ResultAddr, cache.Write, finish, nil)
+	if err == nil {
+		var buf [16]byte
+		flag := uint64(1) // completion flag
+		if r.Fault != nil {
+			flag = 0xEE // error code visible to polling software
+		} else if r.Found {
+			flag = 3
+		}
+		putLE(buf[0:8], flag)
+		putLE(buf[8:16], r.Value)
+		a.m.AS.MustWrite(q.ResultAddr, buf[:])
+	}
+	r.Done = finish + wlat
+	a.results[q.Tag] = r
+	a.nbInFlight[q.Tag] = nbRecord{done: r.Done, resultAddr: q.ResultAddr}
+	return accepted, nil
+}
+
+// nbRecord tracks one in-flight non-blocking query for interrupt flushes.
+type nbRecord struct {
+	done       uint64
+	resultAddr mem.VAddr
+}
+
+func putLE(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// requestHop charges the NoC transfer from the serving core to the
+// instance (zero-distance for Core-integrated, whose QST sits by the L2).
+func (a *Accelerator) requestHop(ins *instance, bytes uint64) uint64 {
+	if a.p.Kind == scheme.CoreIntegrated {
+		return 0
+	}
+	return a.m.Mesh.Send(a.m.Hier.CoreStop(a.core), ins.stop, bytes)
+}
+
+func (a *Accelerator) responseHop(ins *instance, bytes uint64) uint64 {
+	if a.p.Kind == scheme.CoreIntegrated {
+		return 0
+	}
+	return a.m.Mesh.Send(ins.stop, a.m.Hier.CoreStop(a.core), bytes)
+}
+
+// translate resolves a virtual address on the scheme's translation path,
+// using the per-query page cache (QEI keeps the current translation in
+// the QST entry, so consecutive lines on one page translate once).
+func (a *Accelerator) translate(ins *instance, addr mem.VAddr, pageCache map[uint64]mem.PAddr) (mem.PAddr, uint64, error) {
+	page := addr.Page()
+	if base, ok := pageCache[page]; ok {
+		return base | mem.PAddr(addr.Offset()), 0, nil
+	}
+	var pa mem.PAddr
+	var lat uint64
+	var err error
+	switch a.p.Translation {
+	case scheme.TransL2TLB:
+		pa, lat, err = a.m.TLB[a.core].TranslateL2(addr)
+	case scheme.TransDedicated:
+		if hit, hl := ins.tlb.Lookup(addr); hit {
+			pa, err = a.m.AS.Translate(addr)
+			lat = hl
+		} else {
+			var wl uint64
+			pa, wl, err = ins.walker.Walk(addr)
+			lat = ins.tlb.Config().HitLatency + wl
+			if err == nil {
+				ins.tlb.Insert(addr)
+			}
+		}
+	case scheme.TransCoreMMU:
+		// Round trip to the core's MMU across the mesh plus the MMU's
+		// request-port handling, then its L2-TLB path (Sec. V: "adds
+		// extra round-trip latency to each access and eats into the
+		// performance benefits").
+		const mmuPortCost = 12
+		rt := a.m.Mesh.RoundTrip(ins.stop, a.m.Hier.CoreStop(a.core)) + mmuPortCost
+		pa, lat, err = a.m.TLB[a.core].TranslateL2(addr)
+		lat += rt
+	}
+	if err != nil {
+		return 0, lat, err
+	}
+	pageCache[page] = pa &^ (mem.PageSize - 1)
+	a.stats.TranslationCycles += lat
+	return pa, lat, nil
+}
+
+// dataAccess performs one cacheline access on the scheme's data path and
+// returns its latency. pageCache may be nil for one-off accesses.
+func (a *Accelerator) dataAccess(ins *instance, addr mem.VAddr, kind cache.AccessKind, at uint64, pageCache map[uint64]mem.PAddr) (uint64, error) {
+	if pageCache == nil {
+		pageCache = map[uint64]mem.PAddr{}
+	}
+	pa, tlat, err := a.translate(ins, addr, pageCache)
+	if err != nil {
+		return tlat, err
+	}
+	var r cache.Result
+	switch a.p.Data {
+	case scheme.DataViaL2:
+		r = a.m.Hier.L2Access(a.core, pa, kind)
+	case scheme.DataViaLLC:
+		r = a.m.Hier.LLCAccessFrom(ins.stop, pa, kind)
+	}
+	lat := tlat + r.Latency + a.p.ExtraDataLatency
+	a.stats.DataAccessCycles += r.Latency + a.p.ExtraDataLatency
+	return lat, nil
+}
+
+// bookComparator reserves a comparator unit at site, returning when the
+// compare may start given its operands are ready at t.
+//
+// The simulator computes overlapping queries one at a time, so a strict
+// monotonic next-free timeline would let an early-computed query reserve
+// slots far in the future and falsely serialize everything behind it.
+// Contention is instead modelled locally: if every unit at the site is
+// busy in the window around t, the compare queues for one busy period —
+// a bounded penalty that matches the sparse per-query comparator usage.
+func bookComparator(units []uint64, t, busy uint64) uint64 {
+	best := -1
+	for i := range units {
+		if units[i] <= t {
+			if best == -1 || units[i] < units[best] {
+				best = i
+			}
+		}
+	}
+	if best >= 0 {
+		units[best] = t + busy
+		return t
+	}
+	// All units busy at t: wait one busy period on the unit that frees
+	// soonest within the window.
+	best = 0
+	for i := 1; i < len(units); i++ {
+		if units[i] < units[best] {
+			best = i
+		}
+	}
+	start := t + busy
+	units[best] = start + busy
+	return start
+}
+
+// compareCycles is the comparator cost: 64-bit comparisons per cycle
+// (Sec. IV-B).
+func compareCycles(bytes uint64) uint64 {
+	c := (bytes + 7) / 8
+	if c == 0 {
+		c = 1
+	}
+	return c
+}
+
+// execute runs one query through the QST/CEE/DPU starting at arrival
+// cycle t0, returning the completion cycle at the accelerator.
+func (a *Accelerator) execute(ins *instance, qd *isa.QueryDesc, t0 uint64) uint64 {
+	a.stats.Queries++
+	if a.stats.FirstIssue == 0 || t0 < a.stats.FirstIssue {
+		a.stats.FirstIssue = t0
+	}
+
+	// QST allocation: wait for the oldest entry to free (Sec. IV-B —
+	// software must not overflow the QST; the engine models back-pressure
+	// as waiting).
+	slot := ins.qstSeq % uint64(len(ins.qstRing))
+	start := t0
+	if free := ins.qstRing[slot]; free > start {
+		a.stats.QSTStallCycles += free - start
+		start = free
+	}
+	ins.qstSeq++
+
+	t := start
+	fail := func(err error) uint64 {
+		a.stats.Exceptions++
+		a.results[qd.Tag] = Result{Fault: err, Done: t}
+		ins.qstRing[slot] = t
+		a.noteFinish(start, t)
+		a.recordSpan(Span{Tag: qd.Tag, Start: start, End: t,
+			Instance: a.instanceIndex(ins), Slot: int(slot), Fault: true})
+		return t
+	}
+
+	pageCache := map[uint64]mem.PAddr{}
+	fetched := map[uint64]bool{} // virtual line -> staged in QST data
+
+	// Step 1: fetch the metadata header (one line, Sec. IV-C).
+	hlat, err := a.dataAccess(ins, qd.HeaderAddr, cache.Read, t, pageCache)
+	a.stats.MemOps++
+	a.stats.MemLines++
+	t += hlat
+	if err != nil {
+		return fail(err)
+	}
+	fetched[uint64(qd.HeaderAddr.Line())] = true
+	hdr, err := dstruct.ReadHeader(a.m.AS, qd.HeaderAddr)
+	if err != nil {
+		return fail(err)
+	}
+	prog, ok := a.reg.Lookup(hdr.Type)
+	if !ok {
+		return fail(fmt.Errorf("qei: no CFA firmware for type %s", dstruct.TypeName(hdr.Type)))
+	}
+
+	keyLen := int(hdr.KeyLen)
+	if qd.KeyLen != 0 {
+		keyLen = int(qd.KeyLen)
+	}
+	key := make([]byte, keyLen)
+	if err := a.m.AS.Read(qd.KeyAddr, key); err != nil {
+		return fail(err)
+	}
+
+	q := &cfa.Query{
+		AS:         a.m.AS,
+		HeaderAddr: qd.HeaderAddr,
+		Header:     hdr,
+		KeyAddr:    qd.KeyAddr,
+		Key:        key,
+	}
+
+	state := cfa.StateStart
+	const maxTransitions = 1 << 20
+	for steps := 0; ; steps++ {
+		if steps >= maxTransitions {
+			return fail(fmt.Errorf("qei: runaway CFA %s", prog.Name()))
+		}
+		// CEE: each transition occupies the engine for one cycle. The
+		// engine is shared by the instance's in-flight queries, but
+		// transitions are sparse relative to memory latencies (one per
+		// dependent access), so cross-query CEE conflicts contribute at
+		// most a cycle or two; we charge the pipeline cycle and a
+		// conflict cycle whenever another query booked this same cycle.
+		if ins.lastCEECycle == t {
+			t++ // conflict: another entry was selected this cycle
+		}
+		ins.lastCEECycle = t
+		t++ // the transition's own CEE cycle
+		a.stats.Transitions++
+
+		req := prog.Step(q, state)
+
+		// Charge the transition's micro-ops.
+		var serial uint64
+		var parallel uint64
+		for _, op := range req.Ops {
+			lat, err := a.chargeOp(ins, op, t, pageCache, fetched, uint64(len(q.Key)))
+			if err != nil {
+				return fail(err)
+			}
+			serial += lat
+			if lat > parallel {
+				parallel = lat
+			}
+		}
+		if req.Parallel {
+			t += parallel
+		} else {
+			t += serial
+		}
+
+		switch req.Next {
+		case cfa.StateDone:
+			res := Result{Found: req.Found, Value: req.Value, Matches: q.Matches, Done: t}
+			a.results[qd.Tag] = res
+			ins.qstRing[slot] = t
+			a.noteFinish(start, t)
+			a.recordSpan(Span{Tag: qd.Tag, Start: start, End: t,
+				Instance: a.instanceIndex(ins), Slot: int(slot)})
+			return t
+		case cfa.StateException:
+			return fail(req.Fault)
+		default:
+			state = req.Next
+		}
+	}
+}
+
+func (a *Accelerator) noteFinish(start, finish uint64) {
+	if finish > a.stats.LastFinish {
+		a.stats.LastFinish = finish
+	}
+	a.stats.BusyEntryCycles += finish - start
+}
+
+// chargeOp computes the latency of one DPU/memory micro-op starting at
+// t. keyBytes is the staged key size (remote-compare request payload).
+func (a *Accelerator) chargeOp(ins *instance, op cfa.Op, t uint64, pageCache map[uint64]mem.PAddr, fetched map[uint64]bool, keyBytes uint64) (uint64, error) {
+	switch op.Kind {
+	case cfa.OpMemRead:
+		a.stats.MemOps++
+		first := uint64(op.Addr.Line())
+		last := uint64((op.Addr + mem.VAddr(op.Bytes) - 1).Line())
+		if op.Bytes == 0 {
+			last = first
+		}
+		var maxLat uint64
+		for line := first; line <= last; line += mem.LineSize {
+			a.stats.MemLines++
+			lat, err := a.dataAccess(ins, mem.VAddr(line), cache.Read, t, pageCache)
+			if err != nil {
+				return lat, err
+			}
+			fetched[line] = true
+			if lat > maxLat {
+				maxLat = lat // lines of one micro-op burst in parallel
+			}
+		}
+		return maxLat, nil
+
+	case cfa.OpCompare:
+		a.stats.CompareBytes += op.Bytes
+		cycles := compareCycles(op.Bytes)
+		// Covered by staged data? Then a local DPU comparator suffices
+		// ("a small key comparison can be done in one of the DPU if the
+		// key is part of the fetched cacheline", Sec. V-A).
+		if a.coveredByStaged(op, fetched) {
+			a.stats.LocalCompares++
+			instIdx := a.instanceIndex(ins)
+			startC := bookComparator(a.localComp[instIdx], t, cycles)
+			return startC + cycles - t, nil
+		}
+		if a.p.RemoteCompare {
+			return a.remoteCompare(ins, op, t, pageCache, keyBytes, cycles)
+		}
+		// No remote comparators (device schemes): fetch the operand lines
+		// to the accelerator and compare locally.
+		fetchLat, err := a.chargeOp(ins, cfa.MemRead(op.Addr, op.Bytes), t, pageCache, fetched, keyBytes)
+		if err != nil {
+			return fetchLat, err
+		}
+		a.stats.LocalCompares++
+		instIdx := a.instanceIndex(ins)
+		startC := bookComparator(a.localComp[instIdx], t+fetchLat, cycles)
+		return startC + cycles - t, nil
+
+	case cfa.OpALU:
+		a.stats.ALUOps++
+		return (op.Bytes + 7) / 8, nil
+
+	case cfa.OpHash:
+		a.stats.HashOps++
+		return 2 + (op.Bytes+7)/8, nil
+	}
+	return 0, fmt.Errorf("qei: unknown micro-op kind %d", int(op.Kind))
+}
+
+// coveredByStaged reports whether every line of the compare operand has
+// already been fetched into the QST's intermediate-data field.
+func (a *Accelerator) coveredByStaged(op cfa.Op, fetched map[uint64]bool) bool {
+	if op.Bytes == 0 {
+		return true
+	}
+	first := uint64(op.Addr.Line())
+	last := uint64((op.Addr + mem.VAddr(op.Bytes) - 1).Line())
+	for line := first; line <= last; line += mem.LineSize {
+		if !fetched[line] {
+			return false
+		}
+	}
+	return true
+}
+
+// remoteCompare dispatches the comparison to the CHA owning the operand:
+// the key chunk travels to the slice, the comparator reads the data
+// in-place from the LLC, and only the outcome returns (Sec. V-A).
+// keyBytes is the size of the key payload carried by the request.
+func (a *Accelerator) remoteCompare(ins *instance, op cfa.Op, t uint64, pageCache map[uint64]mem.PAddr, keyBytes uint64, cycles uint64) (uint64, error) {
+	pa, tlat, err := a.translate(ins, op.Addr, pageCache)
+	if err != nil {
+		return tlat, err
+	}
+	a.stats.RemoteCompares++
+	slice := a.m.Hier.LLC().SliceFor(pa)
+	sliceStop := a.m.Hier.LLC().StopFor(pa)
+	// Request carries the remote micro-op + the key chunk to compare.
+	reqLat := a.m.Mesh.Send(ins.stop, sliceStop, 16+keyBytes)
+	arrive := t + tlat + reqLat
+	// The CHA comparator pulls the operand lines from its own slice.
+	var dataLat uint64
+	first := uint64(op.Addr.Line())
+	last := uint64((op.Addr + mem.VAddr(op.Bytes) - 1).Line())
+	for line := first; line <= last; line += mem.LineSize {
+		lpa, _, err := a.translate(ins, mem.VAddr(line), pageCache)
+		if err != nil {
+			return 0, err
+		}
+		r := a.m.Hier.LLCAccessLocal(sliceStop, lpa, cache.Read)
+		if r.Latency > dataLat {
+			dataLat = r.Latency
+		}
+	}
+	startC := bookComparator(a.remoteComp[slice], arrive+dataLat, cycles)
+	// Only the 16 B outcome returns — the data stays in the LLC.
+	respLat := a.m.Mesh.Send(sliceStop, ins.stop, 16)
+	done := startC + cycles + respLat
+	return done - t, nil
+}
+
+func (a *Accelerator) instanceIndex(ins *instance) int {
+	for i, x := range a.inst {
+		if x == ins {
+			return i
+		}
+	}
+	return 0
+}
+
+// Flush aborts in-flight non-blocking queries at an interrupt
+// (Sec. IV-D): abort codes are written to their result addresses with
+// non-temporal stores, and the core may not run handler code until the
+// flush completes. It returns the flush latency in cycles.
+func (a *Accelerator) Flush(at uint64) uint64 {
+	a.stats.Flushes++
+	var pending int
+	for tag, rec := range a.nbInFlight {
+		if rec.done > at {
+			pending++
+			r := a.results[tag]
+			r.Aborted = true
+			r.Fault = fmt.Errorf("qei: query %d aborted by interrupt flush", tag)
+			a.results[tag] = r
+			a.stats.AbortedNB++
+			// Abort code at the result address so polling software can
+			// restart the query after the interrupt.
+			var buf [8]byte
+			putLE(buf[:], 0xAB)
+			a.m.AS.MustWrite(rec.resultAddr, buf[:])
+		}
+		delete(a.nbInFlight, tag)
+	}
+	// Address translation for the pending stores is the critical path;
+	// stores coalesce per line (Sec. IV-D).
+	lat := uint64(pending) * 2
+	if pending > 0 {
+		lat += a.m.TLB[a.core].L2.Config().HitLatency
+	}
+	return lat
+}
+
+// ResetNoCWindow is a hook for experiments measuring NoC utilization
+// attributable to the accelerator only.
+func (a *Accelerator) ResetNoCWindow() {
+	a.m.Mesh.ResetTraffic()
+}

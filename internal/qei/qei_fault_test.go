@@ -1,0 +1,144 @@
+package qei
+
+import (
+	"strings"
+	"testing"
+
+	"qei/internal/dstruct"
+	"qei/internal/isa"
+	"qei/internal/mem"
+	"qei/internal/scheme"
+)
+
+// Failure-injection tests for the exception machinery of Sec. IV-D: all
+// faults must surface architecturally (recorded in the Result, counted
+// in stats) without wedging the accelerator.
+
+func TestFaultHeaderUnmapped(t *testing.T) {
+	m, a := newAccel(t, scheme.CoreIntegrated)
+	key := stage(m, make([]byte, 8))
+	done, err := a.IssueBlocking(&isa.QueryDesc{
+		HeaderAddr: mem.VAddr(0xbad0000), KeyAddr: key, Tag: 1,
+	}, 0)
+	if err != nil {
+		t.Fatalf("architectural fault leaked as simulator error: %v", err)
+	}
+	if done == 0 {
+		t.Fatal("no completion cycle for faulting query")
+	}
+	r, _ := a.Result(1)
+	if r.Fault == nil {
+		t.Fatal("fault not recorded")
+	}
+}
+
+func TestFaultKeyUnmapped(t *testing.T) {
+	m, a := newAccel(t, scheme.CoreIntegrated)
+	keys, vals := genKeys(10, 16, 31)
+	ck := dstruct.BuildCuckoo(m.AS, 16, 4, 3, keys, vals)
+	if _, err := a.IssueBlocking(&isa.QueryDesc{
+		HeaderAddr: ck.HeaderAddr, KeyAddr: mem.VAddr(0xbad0000), Tag: 2,
+	}, 0); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := a.Result(2)
+	if r.Fault == nil {
+		t.Fatal("unmapped key address did not fault")
+	}
+	if a.Stats().Exceptions != 1 {
+		t.Fatalf("exceptions = %d", a.Stats().Exceptions)
+	}
+}
+
+func TestFaultUnknownFirmware(t *testing.T) {
+	m, a := newAccel(t, scheme.CoreIntegrated)
+	hdr := dstruct.WriteHeader(m.AS, dstruct.Header{Type: 200, KeyLen: 8, Size: 1})
+	key := stage(m, make([]byte, 8))
+	if _, err := a.IssueBlocking(&isa.QueryDesc{HeaderAddr: hdr, KeyAddr: key, Tag: 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := a.Result(3)
+	if r.Fault == nil || !strings.Contains(r.Fault.Error(), "firmware") {
+		t.Fatalf("unknown type code fault = %v", r.Fault)
+	}
+}
+
+func TestAcceleratorSurvivesFaultBurst(t *testing.T) {
+	// Faulting queries release their QST entries; good queries issued
+	// after a burst of faults must still succeed.
+	m, a := newAccel(t, scheme.CoreIntegrated)
+	keys, vals := genKeys(50, 16, 32)
+	ck := dstruct.BuildCuckoo(m.AS, 64, 4, 3, keys, vals)
+	for i := 0; i < 30; i++ {
+		if _, err := a.IssueBlocking(&isa.QueryDesc{
+			HeaderAddr: mem.VAddr(0xbad0000 + uint64(i)*mem.PageSize),
+			KeyAddr:    stage(m, keys[0]),
+			Tag:        uint64(100 + i),
+		}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Stats().Exceptions; got != 30 {
+		t.Fatalf("exceptions = %d, want 30", got)
+	}
+	for i := 0; i < 20; i++ {
+		qd := &isa.QueryDesc{HeaderAddr: ck.HeaderAddr, KeyAddr: stage(m, keys[i]), Tag: uint64(i)}
+		if _, err := a.IssueBlocking(qd, 100000); err != nil {
+			t.Fatal(err)
+		}
+		r, _ := a.Result(uint64(i))
+		if r.Fault != nil || !r.Found || r.Value != vals[i] {
+			t.Fatalf("post-fault query %d broken: %+v", i, r)
+		}
+	}
+}
+
+func TestViewForCoreSharesHardware(t *testing.T) {
+	m, base := newAccel(t, scheme.CHATLB)
+	view := base.ViewForCore(7)
+	keys, vals := genKeys(100, 16, 33)
+	ck := dstruct.BuildCuckoo(m.AS, 64, 4, 5, keys, vals)
+
+	// Queries through both views must both succeed and keep results
+	// separate.
+	if _, err := base.IssueBlocking(&isa.QueryDesc{HeaderAddr: ck.HeaderAddr, KeyAddr: stage(m, keys[1]), Tag: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := view.IssueBlocking(&isa.QueryDesc{HeaderAddr: ck.HeaderAddr, KeyAddr: stage(m, keys[2]), Tag: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	rb, okb := base.Result(1)
+	rv, okv := view.Result(1)
+	if !okb || !okv {
+		t.Fatal("results missing")
+	}
+	if rb.Value == rv.Value {
+		t.Fatal("views share result maps — they must not")
+	}
+	if rb.Value != vals[1] || rv.Value != vals[2] {
+		t.Fatalf("wrong values: %d / %d", rb.Value, rv.Value)
+	}
+}
+
+func TestStatsSubWindows(t *testing.T) {
+	m, a := newAccel(t, scheme.CoreIntegrated)
+	keys, vals := genKeys(40, 16, 34)
+	ck := dstruct.BuildCuckoo(m.AS, 64, 4, 5, keys, vals)
+	for i := 0; i < 10; i++ {
+		a.IssueBlocking(&isa.QueryDesc{HeaderAddr: ck.HeaderAddr, KeyAddr: stage(m, keys[i]), Tag: uint64(i)}, 0)
+	}
+	snap := a.Stats()
+	for i := 10; i < 25; i++ {
+		a.IssueBlocking(&isa.QueryDesc{HeaderAddr: ck.HeaderAddr, KeyAddr: stage(m, keys[i]), Tag: uint64(i)}, 100000)
+	}
+	d := a.Stats().Sub(snap)
+	if d.Queries != 15 {
+		t.Fatalf("windowed queries = %d, want 15", d.Queries)
+	}
+	if d.Transitions == 0 || d.MemLines == 0 {
+		t.Fatal("windowed counters empty")
+	}
+	if d.Queries > snap.Queries+d.Queries {
+		t.Fatal("window exceeded total")
+	}
+}

@@ -1,0 +1,72 @@
+package qei
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Query-timeline tracing. When enabled, the accelerator records one span
+// per query (issue to completion, annotated with its QST instance), and
+// ExportChromeTrace renders the spans in the Chrome tracing JSON format
+// (chrome://tracing, Perfetto) — making the QST's out-of-order overlap
+// visible: ten staggered spans per instance, exactly the pipelined-CFA
+// picture of Sec. IV-B.
+
+// Span is one traced query.
+type Span struct {
+	Tag      uint64
+	Start    uint64
+	End      uint64
+	Instance int
+	Slot     int
+	Fault    bool
+}
+
+// EnableTracing starts span collection (cleared of prior spans).
+func (a *Accelerator) EnableTracing() {
+	a.traceOn = true
+	a.spans = nil
+}
+
+// Spans returns the collected spans in issue order.
+func (a *Accelerator) Spans() []Span {
+	out := make([]Span, len(a.spans))
+	copy(out, a.spans)
+	return out
+}
+
+func (a *Accelerator) recordSpan(s Span) {
+	if a.traceOn {
+		a.spans = append(a.spans, s)
+	}
+}
+
+// ExportChromeTrace renders spans as a Chrome tracing JSON document.
+// Rows (tid) are QST slots within instances (pid), so the viewer shows
+// each entry's occupancy timeline.
+func ExportChromeTrace(spans []Span) string {
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	var b strings.Builder
+	b.WriteString("[\n")
+	for i, s := range sorted {
+		name := fmt.Sprintf("query-%d", s.Tag)
+		if s.Fault {
+			name += "!EXCEPTION"
+		}
+		dur := s.End - s.Start
+		if dur == 0 {
+			dur = 1
+		}
+		fmt.Fprintf(&b, `  {"name":%q,"cat":"qst","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d}`,
+			name, s.Start, dur, s.Instance, s.Slot)
+		if i != len(sorted)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("]\n")
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package qei
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"qei/internal/dstruct"
+	"qei/internal/isa"
+	"qei/internal/scheme"
+)
+
+func TestTracingSpansAndExport(t *testing.T) {
+	m, a := newAccel(t, scheme.CoreIntegrated)
+	a.EnableTracing()
+	keys, vals := genKeys(50, 16, 60)
+	ck := dstruct.BuildCuckoo(m.AS, 64, 4, 5, keys, vals)
+	for i := 0; i < 20; i++ {
+		qd := &isa.QueryDesc{HeaderAddr: ck.HeaderAddr, KeyAddr: stage(m, keys[i]), Tag: uint64(i)}
+		if _, err := a.IssueBlocking(qd, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spans := a.Spans()
+	if len(spans) != 20 {
+		t.Fatalf("spans = %d, want 20", len(spans))
+	}
+	for _, s := range spans {
+		if s.End < s.Start {
+			t.Fatalf("span %d ends before start", s.Tag)
+		}
+		if s.Fault {
+			t.Fatalf("span %d unexpectedly faulted", s.Tag)
+		}
+		if s.Slot < 0 || s.Slot >= 10 {
+			t.Fatalf("span %d in slot %d — QST has 10", s.Tag, s.Slot)
+		}
+	}
+	// Overlap: with all 20 issued at cycle 0, at least two spans overlap.
+	overlap := false
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].Start < spans[j].End && spans[j].Start < spans[i].End {
+				overlap = true
+			}
+		}
+	}
+	if !overlap {
+		t.Fatal("no overlapping spans — QST parallelism invisible")
+	}
+
+	// The export must be valid JSON in the Chrome trace array form.
+	doc := ExportChromeTrace(spans)
+	var parsed []map[string]any
+	if err := json.Unmarshal([]byte(doc), &parsed); err != nil {
+		t.Fatalf("trace not valid JSON: %v\n%s", err, doc)
+	}
+	if len(parsed) != 20 {
+		t.Fatalf("trace has %d events", len(parsed))
+	}
+	if parsed[0]["ph"] != "X" {
+		t.Fatal("events must be complete spans (ph=X)")
+	}
+}
+
+func TestTracingFaultMarked(t *testing.T) {
+	m, a := newAccel(t, scheme.CoreIntegrated)
+	a.EnableTracing()
+	key := stage(m, make([]byte, 8))
+	if _, err := a.IssueBlocking(&isa.QueryDesc{HeaderAddr: 0xbad0000, KeyAddr: key, Tag: 9}, 0); err != nil {
+		t.Fatal(err)
+	}
+	spans := a.Spans()
+	if len(spans) != 1 || !spans[0].Fault {
+		t.Fatalf("faulting span not recorded: %+v", spans)
+	}
+	if !strings.Contains(ExportChromeTrace(spans), "EXCEPTION") {
+		t.Fatal("fault not visible in export")
+	}
+}
+
+func TestTracingOffByDefault(t *testing.T) {
+	m, a := newAccel(t, scheme.CoreIntegrated)
+	keys, vals := genKeys(5, 16, 61)
+	ck := dstruct.BuildCuckoo(m.AS, 16, 4, 5, keys, vals)
+	qd := &isa.QueryDesc{HeaderAddr: ck.HeaderAddr, KeyAddr: stage(m, keys[0]), Tag: 0}
+	if _, err := a.IssueBlocking(qd, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Spans()) != 0 {
+		t.Fatal("spans collected without EnableTracing")
+	}
+}

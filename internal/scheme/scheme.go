@@ -1,0 +1,261 @@
+// Package scheme defines the five accelerator integration schemes the
+// paper evaluates (Sec. V, Sec. VI-A) as parameter sets: where the
+// accelerator sits on the chip, how many in-flight queries it supports,
+// how it translates addresses, how it reaches data, and whether it can
+// dispatch key comparisons to the CHAs.
+package scheme
+
+import (
+	"fmt"
+
+	"qei/internal/tlb"
+)
+
+// Kind enumerates the integration schemes.
+type Kind int
+
+const (
+	// CoreIntegrated is the paper's proposal: QST/CEE/DPU beside each
+	// core's L2 and L2-TLB, comparators distributed into the CHAs.
+	CoreIntegrated Kind = iota
+	// CHATLB is the HALO-style scheme: accelerators in every CHA, each
+	// with a dedicated 1024-entry TLB.
+	CHATLB
+	// CHANoTLB places accelerators in the CHAs but routes every
+	// translation to the core's MMU.
+	CHANoTLB
+	// DeviceDirect attaches one accelerator to the NoC as a special core
+	// (DASX-style).
+	DeviceDirect
+	// DeviceIndirect attaches the accelerator behind a standard device
+	// interface (CXL/OpenCAPI-style), adding interface latency to every
+	// access.
+	DeviceIndirect
+)
+
+// Kinds lists all schemes in the paper's presentation order.
+func Kinds() []Kind {
+	return []Kind{CHATLB, CHANoTLB, DeviceDirect, DeviceIndirect, CoreIntegrated}
+}
+
+func (k Kind) String() string {
+	switch k {
+	case CoreIntegrated:
+		return "Core-integrated"
+	case CHATLB:
+		return "CHA-TLB"
+	case CHANoTLB:
+		return "CHA-noTLB"
+	case DeviceDirect:
+		return "Device-direct"
+	case DeviceIndirect:
+		return "Device-indirect"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// TranslationPath selects how the accelerator translates virtual
+// addresses (the crux of Challenge 3, Sec. II-B).
+type TranslationPath int
+
+const (
+	// TransL2TLB shares the core's L2-TLB (Core-integrated).
+	TransL2TLB TranslationPath = iota
+	// TransDedicated uses a private TLB at the accelerator (CHA-TLB,
+	// device schemes' IOMMU-ish TLB).
+	TransDedicated
+	// TransCoreMMU round-trips every translation to the core's MMU
+	// (CHA-noTLB).
+	TransCoreMMU
+)
+
+func (t TranslationPath) String() string {
+	switch t {
+	case TransL2TLB:
+		return "shared L2-TLB"
+	case TransDedicated:
+		return "dedicated TLB"
+	case TransCoreMMU:
+		return "core MMU round-trip"
+	default:
+		return "?"
+	}
+}
+
+// DataPath selects how the accelerator's memory micro-ops reach data.
+type DataPath int
+
+const (
+	// DataViaL2 goes through the issuing core's L2 then the LLC
+	// (Core-integrated: shares L2, avoids L1 pollution).
+	DataViaL2 DataPath = iota
+	// DataViaLLC goes straight to the owning LLC slice from the
+	// accelerator's mesh stop (CHA and device schemes).
+	DataViaLLC
+)
+
+// Params is the complete description of one integration scheme.
+type Params struct {
+	Kind Kind
+	// QSTEntriesPerInstance is the in-flight query capacity of one
+	// accelerator instance (10 for CHA/core schemes, 240 for devices —
+	// Sec. VI-A).
+	QSTEntriesPerInstance int
+	// Instances is the number of accelerator instances on the chip (24
+	// for CHA schemes, 1 otherwise; the Core-integrated scheme has one
+	// per core but a single-threaded workload exercises one).
+	Instances int
+	// PortOverhead is the fixed cost of handing a request from the core
+	// to the accelerator beyond NoC traversal (queueing, protocol).
+	PortOverhead uint64
+	// ReplyOverhead is the fixed cost of delivering the result back.
+	ReplyOverhead uint64
+	// Translation picks the translation path; DedicatedTLB holds its
+	// geometry when Translation == TransDedicated.
+	Translation  TranslationPath
+	DedicatedTLB tlb.Config
+	// Data picks the data-access path.
+	Data DataPath
+	// ExtraDataLatency is charged on every accelerator data access
+	// (device-interface overhead; the Fig. 8 sweep varies it).
+	ExtraDataLatency uint64
+	// RemoteCompare enables dispatching comparisons of non-staged data to
+	// the CHA owning it (near-data comparison, Sec. V-A).
+	RemoteCompare bool
+	// ComparatorsPerSite bounds concurrent comparisons per CHA (2) or per
+	// device DPU (10) — Tab. II.
+	ComparatorsPerSite int
+	// HardwareCost is Tab. I's qualitative cost label.
+	HardwareCost string
+	// NoCHotspot marks schemes that concentrate traffic on one stop.
+	NoCHotspot bool
+	// Scalability is Tab. I's qualitative scalability label.
+	Scalability string
+}
+
+// ForKind returns the paper's configuration for a scheme (Sec. VI-A,
+// Tab. I, Tab. II).
+func ForKind(k Kind) Params {
+	switch k {
+	case CoreIntegrated:
+		return Params{
+			Kind:                  k,
+			QSTEntriesPerInstance: 10,
+			Instances:             1,
+			PortOverhead:          8, // Tab. I: 10–25 cycles core↔accel
+			ReplyOverhead:         4,
+			Translation:           TransL2TLB,
+			Data:                  DataViaL2,
+			RemoteCompare:         true,
+			ComparatorsPerSite:    2,
+			HardwareCost:          "Low",
+			Scalability:           "Good",
+		}
+	case CHATLB:
+		return Params{
+			Kind:                  k,
+			QSTEntriesPerInstance: 10,
+			Instances:             24,
+			PortOverhead:          18, // Tab. I: 40–60 with NoC traversal
+			ReplyOverhead:         10,
+			Translation:           TransDedicated,
+			DedicatedTLB:          tlb.L2TLBConfig(), // "same as the L2-TLB size"
+			Data:                  DataViaLLC,
+			RemoteCompare:         true,
+			ComparatorsPerSite:    2,
+			HardwareCost:          "Low (TLB-heavy)",
+			Scalability:           "Good",
+		}
+	case CHANoTLB:
+		return Params{
+			Kind:                  k,
+			QSTEntriesPerInstance: 10,
+			Instances:             24,
+			PortOverhead:          18,
+			ReplyOverhead:         10,
+			Translation:           TransCoreMMU,
+			Data:                  DataViaLLC,
+			RemoteCompare:         true,
+			ComparatorsPerSite:    2,
+			HardwareCost:          "Low",
+			Scalability:           "Good",
+		}
+	case DeviceDirect:
+		return Params{
+			Kind:                  k,
+			QSTEntriesPerInstance: 240, // 10 × 24 cores, Sec. VI-A
+			Instances:             1,
+			PortOverhead:          90, // Tab. I: 100–500 core↔accel
+			ReplyOverhead:         60,
+			Translation:           TransDedicated,
+			DedicatedTLB:          tlb.Config{Entries: 1024, Ways: 8, HitLatency: 12},
+			Data:                  DataViaLLC,
+			RemoteCompare:         false,
+			ComparatorsPerSite:    10,
+			HardwareCost:          "Medium/High",
+			NoCHotspot:            true,
+			Scalability:           "Medium",
+		}
+	case DeviceIndirect:
+		return Params{
+			Kind:                  k,
+			QSTEntriesPerInstance: 240,
+			Instances:             1,
+			PortOverhead:          280, // device-interface request path
+			ReplyOverhead:         180,
+			Translation:           TransDedicated,
+			DedicatedTLB:          tlb.Config{Entries: 1024, Ways: 8, HitLatency: 16},
+			Data:                  DataViaLLC,
+			ExtraDataLatency:      300, // swept 50–2000 in Fig. 8
+			RemoteCompare:         false,
+			ComparatorsPerSite:    10,
+			HardwareCost:          "Medium/High",
+			NoCHotspot:            true,
+			Scalability:           "Medium",
+		}
+	default:
+		panic(fmt.Sprintf("scheme: unknown kind %d", int(k)))
+	}
+}
+
+// TableIRow summarizes a scheme for the Tab. I reproduction.
+type TableIRow struct {
+	Scheme          string
+	AccelCoreCycles string
+	AccelDataCycles string
+	HardwareCost    string
+	MemMgmt         string
+	NoCHotspot      string
+	PrivatePollute  string
+	Scalability     string
+}
+
+// TableI returns the qualitative comparison of Tab. I derived from the
+// parameter sets.
+func TableI() []TableIRow {
+	mk := func(k Kind, coreLat, dataLat, mgmt, pollute string) TableIRow {
+		p := ForKind(k)
+		hot := "No"
+		if p.NoCHotspot {
+			hot = "Yes"
+		}
+		return TableIRow{
+			Scheme:          k.String(),
+			AccelCoreCycles: coreLat,
+			AccelDataCycles: dataLat,
+			HardwareCost:    p.HardwareCost,
+			MemMgmt:         mgmt,
+			NoCHotspot:      hot,
+			PrivatePollute:  pollute,
+			Scalability:     p.Scalability,
+		}
+	}
+	return []TableIRow{
+		mk(CHATLB, "40-60", "10-50", "Dedicated", "No"),
+		mk(CHANoTLB, "40-60", "10-50", "Shared", "No"),
+		mk(DeviceDirect, "100-500", "100-500", "Dedicated", "No"),
+		mk(DeviceIndirect, "100-500", "100-500", "Dedicated", "No"),
+		mk(CoreIntegrated, "10-25", "20-40", "Shared", "No"),
+	}
+}

@@ -1,0 +1,151 @@
+// Package sim provides the discrete-event simulation engine that drives
+// every timed component in the QEI reproduction: the out-of-order core
+// model, the cache hierarchy, the NoC, and the accelerator itself.
+//
+// The engine maintains a global cycle counter and a priority queue of
+// scheduled events. Events scheduled for the same cycle fire in the order
+// they were scheduled, which keeps runs fully deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, measured in CPU clock cycles.
+type Cycle uint64
+
+// Event is a callback scheduled to run at a particular cycle.
+type Event func()
+
+type scheduledEvent struct {
+	at    Cycle
+	seq   uint64 // tie-breaker: schedule order
+	fn    Event
+	index int // heap index
+}
+
+type eventHeap []*scheduledEvent
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*scheduledEvent)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulator.
+//
+// The zero value is not usable; create engines with NewEngine.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// NewEngine returns an engine positioned at cycle 0 with no pending events.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are waiting to execute.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// At schedules fn to run at absolute cycle at. Scheduling in the past
+// (before Now) panics: it would silently corrupt causality.
+func (e *Engine) At(at Cycle, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at cycle %d before now (%d)", at, e.now))
+	}
+	ev := &scheduledEvent{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Cycle, fn Event) {
+	e.At(e.now+delay, fn)
+}
+
+// Step executes the earliest pending event, advancing Now to its cycle.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if e.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*scheduledEvent)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty and returns the final cycle.
+func (e *Engine) Run() Cycle {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with cycle <= limit. Events beyond the limit
+// remain queued. It returns the engine's cycle after the last executed
+// event (or limit if the engine advanced past it with nothing to do).
+func (e *Engine) RunUntil(limit Cycle) Cycle {
+	for e.events.Len() > 0 && e.events[0].at <= limit {
+		e.Step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+	return e.now
+}
+
+// RunFor executes the next n events or until the queue drains.
+func (e *Engine) RunFor(n int) {
+	for i := 0; i < n && e.Step(); i++ {
+	}
+}
+
+// Advance moves the clock forward without executing events. It panics if
+// pending events would be skipped, or if target is in the past.
+func (e *Engine) Advance(target Cycle) {
+	if target < e.now {
+		panic(fmt.Sprintf("sim: cannot advance backwards from %d to %d", e.now, target))
+	}
+	if e.events.Len() > 0 && e.events[0].at < target {
+		panic(fmt.Sprintf("sim: advancing to %d would skip event at %d", target, e.events[0].at))
+	}
+	e.now = target
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %d, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Cycle
+	for _, c := range []Cycle{50, 10, 30, 20, 40} {
+		c := c
+		e.At(c, func() { got = append(got, c) })
+	}
+	e.Run()
+	want := []Cycle{10, 20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired at %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-cycle order[%d] = %d, want %d", i, v, i)
+		}
+	}
+	if e.Now() != 7 {
+		t.Fatalf("Now() = %d, want 7", e.Now())
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine()
+	var at Cycle
+	e.At(100, func() {
+		e.After(25, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 125 {
+		t.Fatalf("nested After fired at %d, want 125", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestRunUntilStopsAtLimit(t *testing.T) {
+	e := NewEngine()
+	fired := map[Cycle]bool{}
+	for _, c := range []Cycle{5, 10, 15, 20} {
+		c := c
+		e.At(c, func() { fired[c] = true })
+	}
+	e.RunUntil(12)
+	if !fired[5] || !fired[10] {
+		t.Fatal("events at 5 and 10 should have fired")
+	}
+	if fired[15] || fired[20] {
+		t.Fatal("events past the limit fired early")
+	}
+	if e.Now() != 12 {
+		t.Fatalf("Now() = %d, want 12", e.Now())
+	}
+	e.Run()
+	if !fired[15] || !fired[20] {
+		t.Fatal("remaining events did not fire on Run")
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	e := NewEngine()
+	e.Advance(42)
+	if e.Now() != 42 {
+		t.Fatalf("Now() = %d, want 42", e.Now())
+	}
+	e.At(50, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance over a pending event did not panic")
+		}
+	}()
+	e.Advance(60)
+}
+
+func TestRunForBounds(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.At(Cycle(i), func() { count++ })
+	}
+	e.RunFor(4)
+	if count != 4 {
+		t.Fatalf("RunFor(4) executed %d events", count)
+	}
+	if e.Fired() != 4 {
+		t.Fatalf("Fired() = %d, want 4", e.Fired())
+	}
+}
+
+// Property: for any set of scheduled cycles, events fire in sorted order and
+// the clock ends at the max.
+func TestPropertyOrdering(t *testing.T) {
+	f := func(cycles []uint16) bool {
+		e := NewEngine()
+		var got []Cycle
+		for _, c := range cycles {
+			c := Cycle(c)
+			e.At(c, func() { got = append(got, c) })
+		}
+		e.Run()
+		want := make([]Cycle, len(cycles))
+		for i, c := range cycles {
+			want[i] = Cycle(c)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving scheduling during execution preserves causality
+// (every event observes Now() == its scheduled cycle).
+func TestPropertyCausality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := NewEngine()
+	ok := true
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		if depth == 0 {
+			return
+		}
+		d := Cycle(rng.Intn(20))
+		target := e.Now() + d
+		e.After(d, func() {
+			if e.Now() != target {
+				ok = false
+			}
+			spawn(depth - 1)
+		})
+	}
+	for i := 0; i < 50; i++ {
+		spawn(5)
+	}
+	e.Run()
+	if !ok {
+		t.Fatal("an event observed a wrong current cycle")
+	}
+}

@@ -1,0 +1,136 @@
+// Package stats provides small reporting utilities shared by the
+// benchmark harnesses: aligned text tables for the figure/table
+// reproductions and a couple of numeric helpers.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows for aligned text rendering.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header first).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.headers, ","))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Rows reports the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Speedup formats a speedup factor the way the paper quotes them.
+func Speedup(baseline, accelerated float64) float64 {
+	if accelerated == 0 {
+		return 0
+	}
+	return baseline / accelerated
+}
+
+// GeoMean returns the geometric mean of xs (0 if empty or non-positive).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		prod *= x
+	}
+	// nth root via successive halving-free math: use exp(log) without
+	// importing math — keep it simple and import math instead.
+	return nthRoot(prod, len(xs))
+}
+
+func nthRoot(x float64, n int) float64 {
+	// Newton iteration for the nth root; x > 0.
+	if x == 0 {
+		return 0
+	}
+	g := x
+	if g > 1 {
+		g = 1 + (x-1)/float64(n)
+	}
+	for i := 0; i < 64; i++ {
+		gp := g
+		pow := 1.0
+		for j := 0; j < n-1; j++ {
+			pow *= g
+		}
+		g = ((float64(n)-1)*g + x/pow) / float64(n)
+		if diff := g - gp; diff < 1e-12 && diff > -1e-12 {
+			break
+		}
+	}
+	return g
+}

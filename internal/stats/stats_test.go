@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Title", "name", "value")
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("a-much-longer-name", 42)
+	out := tab.String()
+	if !strings.Contains(out, "Title") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "a-much-longer-name") {
+		t.Fatal("row missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns aligned: both data rows start their second column at the
+	// same offset.
+	idx1 := strings.Index(lines[3], "1.500")
+	idx2 := strings.Index(lines[4], "42")
+	if idx1 != idx2 {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", idx1, idx2, out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("x", "a", "b")
+	tab.AddRow("v", 2)
+	csv := tab.CSV()
+	if csv != "a,b\nv,2\n" {
+		t.Fatalf("CSV = %q", csv)
+	}
+	if tab.Rows() != 1 {
+		t.Fatalf("Rows() = %d", tab.Rows())
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(100, 25) != 4 {
+		t.Fatal("Speedup(100,25) != 4")
+	}
+	if Speedup(100, 0) != 0 {
+		t.Fatal("division by zero not guarded")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("GeoMean(2,8) = %g, want 4", g)
+	}
+	if g := GeoMean([]float64{5}); math.Abs(g-5) > 1e-9 {
+		t.Fatalf("GeoMean(5) = %g", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Fatal("GeoMean with non-positive input should be 0")
+	}
+	// 3-element case with an irrational root.
+	g := GeoMean([]float64{1, 10, 100})
+	if math.Abs(g-10) > 1e-6 {
+		t.Fatalf("GeoMean(1,10,100) = %g, want 10", g)
+	}
+}

@@ -1,0 +1,235 @@
+// Package tlb models translation lookaside buffers and the page-walk cost
+// paid on a miss.
+//
+// Address translation is central to the paper's argument (Sec. II-B,
+// Challenge 3, and Sec. V): an accelerator needs *some* translation path,
+// and the choice — dedicated TLB per CHA, round trips to the core's MMU,
+// or sharing the core's L2-TLB — drives both performance (Fig. 7/8) and
+// area (Tab. III). This package provides the set-associative TLB used in
+// all of those configurations.
+package tlb
+
+import (
+	"fmt"
+
+	"qei/internal/mem"
+)
+
+// Config describes a TLB's geometry and timing.
+type Config struct {
+	Entries    int    // total entries
+	Ways       int    // associativity
+	HitLatency uint64 // cycles for a hit
+}
+
+// L2TLBConfig matches the paper's 1024-entry second-level TLB (the size it
+// also gives the dedicated CHA TLBs in the CHA-TLB scheme).
+func L2TLBConfig() Config {
+	return Config{Entries: 1024, Ways: 8, HitLatency: 7}
+}
+
+// L1TLBConfig is a small first-level data TLB.
+func L1TLBConfig() Config {
+	return Config{Entries: 64, Ways: 4, HitLatency: 1}
+}
+
+// TLB is a set-associative translation cache with true-LRU replacement.
+type TLB struct {
+	cfg     Config
+	sets    int
+	ways    int
+	tags    [][]uint64 // virtual page numbers; ^0 = invalid
+	lru     [][]uint64 // higher = more recent
+	stamp   uint64
+	hits    uint64
+	misses  uint64
+	flushes uint64
+}
+
+// New builds a TLB from cfg. Entries must be divisible by Ways.
+func New(cfg Config) *TLB {
+	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
+		panic(fmt.Sprintf("tlb: bad geometry %d entries / %d ways", cfg.Entries, cfg.Ways))
+	}
+	sets := cfg.Entries / cfg.Ways
+	t := &TLB{cfg: cfg, sets: sets, ways: cfg.Ways}
+	t.tags = make([][]uint64, sets)
+	t.lru = make([][]uint64, sets)
+	for i := range t.tags {
+		t.tags[i] = make([]uint64, cfg.Ways)
+		t.lru[i] = make([]uint64, cfg.Ways)
+		for w := range t.tags[i] {
+			t.tags[i][w] = ^uint64(0)
+		}
+	}
+	return t
+}
+
+// Config returns the TLB geometry.
+func (t *TLB) Config() Config { return t.cfg }
+
+// Lookup checks whether the page containing a is cached, updating LRU and
+// statistics. It returns hit=true and the hit latency on a hit.
+func (t *TLB) Lookup(a mem.VAddr) (hit bool, latency uint64) {
+	vp := a.Page()
+	set := vp % uint64(t.sets)
+	for w, tag := range t.tags[set] {
+		if tag == vp {
+			t.stamp++
+			t.lru[set][w] = t.stamp
+			t.hits++
+			return true, t.cfg.HitLatency
+		}
+	}
+	t.misses++
+	return false, t.cfg.HitLatency
+}
+
+// Insert caches the translation for the page containing a, evicting the
+// least-recently-used way of its set if needed.
+func (t *TLB) Insert(a mem.VAddr) {
+	vp := a.Page()
+	set := vp % uint64(t.sets)
+	victim := 0
+	oldest := ^uint64(0)
+	for w, tag := range t.tags[set] {
+		if tag == vp {
+			t.stamp++
+			t.lru[set][w] = t.stamp
+			return
+		}
+		if t.lru[set][w] < oldest {
+			oldest = t.lru[set][w]
+			victim = w
+		}
+	}
+	t.stamp++
+	t.tags[set][victim] = vp
+	t.lru[set][victim] = t.stamp
+}
+
+// Flush invalidates every entry (context switch / interrupt handling).
+func (t *TLB) Flush() {
+	for i := range t.tags {
+		for w := range t.tags[i] {
+			t.tags[i][w] = ^uint64(0)
+			t.lru[i][w] = 0
+		}
+	}
+	t.flushes++
+}
+
+// Stats reports accumulated hit/miss counts.
+func (t *TLB) Stats() (hits, misses, flushes uint64) {
+	return t.hits, t.misses, t.flushes
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookups.
+func (t *TLB) HitRate() float64 {
+	total := t.hits + t.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.hits) / float64(total)
+}
+
+// Walker models a hardware page-table walker. A walk costs one memory
+// access per level; the per-access latency is a parameter because walks
+// hit in different places (page-walk caches, LLC) in real machines.
+type Walker struct {
+	as           *mem.AddressSpace
+	perLevel     uint64
+	walks        uint64
+	faults       uint64
+	totalLatency uint64
+}
+
+// NewWalker creates a walker over as with the given per-level access cost.
+func NewWalker(as *mem.AddressSpace, perLevelLatency uint64) *Walker {
+	return &Walker{as: as, perLevel: perLevelLatency}
+}
+
+// Walk translates a, returning the physical address, the walk latency,
+// and a fault if the page is unmapped (a faulting walk still traverses
+// all levels before discovering the hole).
+func (w *Walker) Walk(a mem.VAddr) (mem.PAddr, uint64, error) {
+	w.walks++
+	lat := uint64(w.as.WalkLevels()) * w.perLevel
+	w.totalLatency += lat
+	pa, err := w.as.Translate(a)
+	if err != nil {
+		w.faults++
+		return 0, lat, err
+	}
+	return pa, lat, nil
+}
+
+// Stats reports walk counts, faults, and cumulative walk cycles.
+func (w *Walker) Stats() (walks, faults, totalLatency uint64) {
+	return w.walks, w.faults, w.totalLatency
+}
+
+// Hierarchy is a two-level TLB (L1 + shared L2) in front of a walker —
+// the translation path of a core, which QEI's Core-integrated scheme taps
+// at the L2-TLB (Sec. V-A).
+type Hierarchy struct {
+	L1     *TLB
+	L2     *TLB
+	Walker *Walker
+}
+
+// NewHierarchy builds the standard core translation path.
+func NewHierarchy(as *mem.AddressSpace, perLevelWalk uint64) *Hierarchy {
+	return &Hierarchy{
+		L1:     New(L1TLBConfig()),
+		L2:     New(L2TLBConfig()),
+		Walker: NewWalker(as, perLevelWalk),
+	}
+}
+
+// Translate resolves a through L1 → L2 → walker, filling upper levels on
+// the way back. It returns the physical address and total latency.
+func (h *Hierarchy) Translate(a mem.VAddr) (mem.PAddr, uint64, error) {
+	if hit, lat := h.L1.Lookup(a); hit {
+		pa, err := h.Walker.as.Translate(a)
+		return pa, lat, err
+	}
+	lat := h.L1.Config().HitLatency // L1 probe cost on miss
+	if hit, l2lat := h.L2.Lookup(a); hit {
+		h.L1.Insert(a)
+		pa, err := h.Walker.as.Translate(a)
+		return pa, lat + l2lat, err
+	}
+	lat += h.L2.Config().HitLatency
+	pa, wlat, err := h.Walker.Walk(a)
+	lat += wlat
+	if err != nil {
+		return 0, lat, err
+	}
+	h.L2.Insert(a)
+	h.L1.Insert(a)
+	return pa, lat, nil
+}
+
+// TranslateL2 resolves a through the L2 TLB only (the accelerator's path
+// in the Core-integrated scheme — it shares the L2-TLB but not the L1).
+func (h *Hierarchy) TranslateL2(a mem.VAddr) (mem.PAddr, uint64, error) {
+	if hit, lat := h.L2.Lookup(a); hit {
+		pa, err := h.Walker.as.Translate(a)
+		return pa, lat, err
+	}
+	lat := h.L2.Config().HitLatency
+	pa, wlat, err := h.Walker.Walk(a)
+	lat += wlat
+	if err != nil {
+		return 0, lat, err
+	}
+	h.L2.Insert(a)
+	return pa, lat, nil
+}
+
+// Flush clears both TLB levels.
+func (h *Hierarchy) Flush() {
+	h.L1.Flush()
+	h.L2.Flush()
+}

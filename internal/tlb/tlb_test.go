@@ -1,0 +1,187 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"qei/internal/mem"
+)
+
+func vaddr(page uint64) mem.VAddr { return mem.VAddr(page << mem.PageShift) }
+
+func TestMissThenHit(t *testing.T) {
+	tl := New(Config{Entries: 16, Ways: 4, HitLatency: 2})
+	a := vaddr(5)
+	if hit, _ := tl.Lookup(a); hit {
+		t.Fatal("fresh TLB should miss")
+	}
+	tl.Insert(a)
+	hit, lat := tl.Lookup(a)
+	if !hit || lat != 2 {
+		t.Fatalf("after Insert: hit=%v lat=%d", hit, lat)
+	}
+	hits, misses, _ := tl.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits %d misses", hits, misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Single set of 2 ways: pages with same set index collide.
+	tl := New(Config{Entries: 2, Ways: 2, HitLatency: 1})
+	tl.Insert(vaddr(0))
+	tl.Insert(vaddr(1))
+	// Touch page 0 so page 1 becomes LRU.
+	tl.Lookup(vaddr(0))
+	tl.Insert(vaddr(2)) // evicts page 1
+	if hit, _ := tl.Lookup(vaddr(1)); hit {
+		t.Fatal("page 1 should have been evicted (LRU)")
+	}
+	if hit, _ := tl.Lookup(vaddr(0)); !hit {
+		t.Fatal("page 0 should survive")
+	}
+	if hit, _ := tl.Lookup(vaddr(2)); !hit {
+		t.Fatal("page 2 should be present")
+	}
+}
+
+func TestFlushClearsAll(t *testing.T) {
+	tl := New(L1TLBConfig())
+	for p := uint64(0); p < 32; p++ {
+		tl.Insert(vaddr(p))
+	}
+	tl.Flush()
+	for p := uint64(0); p < 32; p++ {
+		if hit, _ := tl.Lookup(vaddr(p)); hit {
+			t.Fatalf("page %d survived flush", p)
+		}
+	}
+	_, _, flushes := tl.Stats()
+	if flushes != 1 {
+		t.Fatalf("flushes = %d, want 1", flushes)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad geometry did not panic")
+		}
+	}()
+	New(Config{Entries: 10, Ways: 3, HitLatency: 1})
+}
+
+func TestWalkerLatencyAndFaults(t *testing.T) {
+	as := mem.NewAddressSpace(mem.NewPhysical())
+	a := as.Alloc(mem.PageSize, mem.PageSize)
+	w := NewWalker(as, 30)
+	pa, lat, err := w.Walk(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != uint64(as.WalkLevels())*30 {
+		t.Fatalf("walk latency = %d", lat)
+	}
+	want, _ := as.Translate(a)
+	if pa != want {
+		t.Fatalf("walk result %#x, want %#x", uint64(pa), uint64(want))
+	}
+	if _, _, err := w.Walk(mem.VAddr(0xffff0000)); err == nil {
+		t.Fatal("walk of unmapped page should fault")
+	}
+	walks, faults, total := w.Stats()
+	if walks != 2 || faults != 1 || total != 2*uint64(as.WalkLevels())*30 {
+		t.Fatalf("walker stats = %d %d %d", walks, faults, total)
+	}
+}
+
+func TestHierarchyFillsUpward(t *testing.T) {
+	as := mem.NewAddressSpace(mem.NewPhysical())
+	a := as.Alloc(mem.PageSize, mem.PageSize)
+	h := NewHierarchy(as, 30)
+
+	// First access: L1 miss + L2 miss + full walk.
+	_, lat1, err := h.Translate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWalk := h.L1.Config().HitLatency + h.L2.Config().HitLatency + uint64(as.WalkLevels())*30
+	if lat1 != wantWalk {
+		t.Fatalf("cold translate latency = %d, want %d", lat1, wantWalk)
+	}
+	// Second access: L1 hit.
+	_, lat2, err := h.Translate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat2 != h.L1.Config().HitLatency {
+		t.Fatalf("warm translate latency = %d, want %d", lat2, h.L1.Config().HitLatency)
+	}
+}
+
+func TestTranslateL2SkipsL1(t *testing.T) {
+	as := mem.NewAddressSpace(mem.NewPhysical())
+	a := as.Alloc(mem.PageSize, mem.PageSize)
+	h := NewHierarchy(as, 30)
+	if _, _, err := h.TranslateL2(a); err != nil {
+		t.Fatal(err)
+	}
+	// L2 now warm; accelerator-path translation is an L2 hit.
+	_, lat, err := h.TranslateL2(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != h.L2.Config().HitLatency {
+		t.Fatalf("L2 path latency = %d, want %d", lat, h.L2.Config().HitLatency)
+	}
+	// The L1 must not have been polluted by accelerator translations.
+	if hit, _ := h.L1.Lookup(a); hit {
+		t.Fatal("TranslateL2 polluted the L1 TLB")
+	}
+}
+
+func TestHierarchyFaultPropagates(t *testing.T) {
+	as := mem.NewAddressSpace(mem.NewPhysical())
+	h := NewHierarchy(as, 30)
+	if _, _, err := h.Translate(mem.VAddr(0xdeadbeef000)); err == nil {
+		t.Fatal("expected fault")
+	}
+	if _, _, err := h.TranslateL2(mem.VAddr(0xdeadbeef000)); err == nil {
+		t.Fatal("expected fault on L2 path")
+	}
+}
+
+// Property: after Insert(p), Lookup(p) hits until ways distinct conflicting
+// pages are inserted.
+func TestPropertyInsertThenHit(t *testing.T) {
+	f := func(pages []uint16) bool {
+		tl := New(Config{Entries: 64, Ways: 4, HitLatency: 1})
+		for _, p := range pages {
+			a := vaddr(uint64(p))
+			tl.Insert(a)
+			if hit, _ := tl.Lookup(a); !hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hit rate of repeated sequential sweeps over a working set that
+// fits is 100% after the first sweep.
+func TestPropertyCapacityBehaviour(t *testing.T) {
+	tl := New(Config{Entries: 64, Ways: 4, HitLatency: 1})
+	for p := uint64(0); p < 64; p++ {
+		tl.Insert(vaddr(p))
+	}
+	for sweep := 0; sweep < 3; sweep++ {
+		for p := uint64(0); p < 64; p++ {
+			if hit, _ := tl.Lookup(vaddr(p)); !hit {
+				t.Fatalf("sweep %d: page %d missed although working set fits", sweep, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"testing"
+
+	"qei/internal/scheme"
+)
+
+func TestMultiCoreCorrectness(t *testing.T) {
+	for _, k := range []scheme.Kind{scheme.CoreIntegrated, scheme.CHATLB, scheme.DeviceDirect} {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			r, err := RunMultiCore(SmallDPDK(), k, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Mismatches != 0 {
+				t.Fatalf("%d mismatches", r.Mismatches)
+			}
+			if r.Queries != 200 {
+				t.Fatalf("queries = %d", r.Queries)
+			}
+			if r.Throughput <= 0 {
+				t.Fatal("no throughput measured")
+			}
+		})
+	}
+}
+
+func TestMultiCoreScalingCoreIntegrated(t *testing.T) {
+	// Core-integrated accelerators are private per core: 4 cores must
+	// deliver clearly more throughput than 1.
+	one, err := RunMultiCore(SmallJVM(), scheme.CoreIntegrated, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := RunMultiCore(SmallJVM(), scheme.CoreIntegrated, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.Throughput < one.Throughput*2 {
+		t.Fatalf("4-core throughput %.2f q/kcyc should be >= 2x 1-core %.2f",
+			four.Throughput, one.Throughput)
+	}
+}
+
+func TestMultiCoreDeviceScalesWorseThanCHA(t *testing.T) {
+	// Tab. I: CHA-based schemes scale "Good", Device-based "Medium" —
+	// every core funnels into one centralized accelerator.
+	cha, err := RunMultiCore(SmallDPDK(), scheme.CHATLB, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := RunMultiCore(SmallDPDK(), scheme.DeviceIndirect, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Throughput >= cha.Throughput {
+		t.Fatalf("centralized device throughput (%.2f) should trail distributed CHA (%.2f) at 8 cores",
+			dev.Throughput, cha.Throughput)
+	}
+}
+
+func TestMultiCoreValidation(t *testing.T) {
+	if _, err := RunMultiCore(SmallDPDK(), scheme.CHATLB, 0); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := RunMultiCore(SmallDPDK(), scheme.CHATLB, 100); err == nil {
+		t.Fatal("more cores than the chip accepted")
+	}
+}

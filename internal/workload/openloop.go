@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"qei/internal/cfa"
+	"qei/internal/isa"
+	"qei/internal/machine"
+	"qei/internal/qei"
+	"qei/internal/scheme"
+	"qei/internal/sim"
+)
+
+// Open-loop latency experiment. The paper motivates QEI with
+// latency-sensitive serving (Sec. II-B, Challenge 2: "the jitters and
+// latency to serve each query are critical to the observed quality of
+// service"), and argues that batching to hide device latency "can lead
+// to much worse average latency and tail latency". This experiment
+// drives the accelerator with an open-loop arrival process on the
+// discrete-event engine: queries arrive every interarrival cycles
+// whether or not earlier ones finished, and per-query latency is
+// recorded — average and tails.
+
+// LatencyProfile summarizes an open-loop run.
+type LatencyProfile struct {
+	Scheme        string
+	Interarrival  uint64
+	Queries       int
+	AvgLatency    float64
+	P50, P95, P99 uint64
+	Max           uint64
+}
+
+func (p LatencyProfile) String() string {
+	return fmt.Sprintf("%s @1/%d: avg %.0f p50 %d p95 %d p99 %d max %d",
+		p.Scheme, p.Interarrival, p.AvgLatency, p.P50, p.P95, p.P99, p.Max)
+}
+
+// OpenLoopLatency runs an arrival-driven query stream against a fresh
+// machine: queries arrive every interarrival cycles (an open loop — the
+// arrival process does not wait for completions, like traffic hitting a
+// NIC), each probing the benchmark's structures. It returns the latency
+// distribution observed at the accelerator's result queue.
+func OpenLoopLatency(bench Benchmark, kind scheme.Kind, interarrival uint64, queries int) (LatencyProfile, error) {
+	if interarrival == 0 {
+		return LatencyProfile{}, fmt.Errorf("workload: zero interarrival")
+	}
+	m := machine.NewDefault()
+	buildStart := m.AS.Brk()
+	plan, err := bench.Build(m)
+	if err != nil {
+		return LatencyProfile{}, err
+	}
+	buildEnd := m.AS.Brk()
+	m.WarmLLC(buildStart, buildEnd)
+	accel := qei.New(m, scheme.ForKind(kind), cfa.DefaultRegistry(), 0)
+
+	// Flatten the probe stream.
+	var probes []Probe
+	for _, req := range plan.Requests {
+		probes = append(probes, req.Probes...)
+	}
+	if len(probes) == 0 {
+		return LatencyProfile{}, fmt.Errorf("workload: no probes")
+	}
+	if queries <= 0 || queries > len(probes) {
+		queries = len(probes)
+	}
+
+	eng := sim.NewEngine()
+	latencies := make([]uint64, 0, queries)
+	profile := LatencyProfile{Scheme: kind.String(), Interarrival: interarrival, Queries: queries}
+
+	var issueErr error
+	for i := 0; i < queries; i++ {
+		i := i
+		arrive := sim.Cycle(uint64(i) * interarrival)
+		eng.At(arrive, func() {
+			p := probes[i]
+			done, err := accel.IssueBlocking(&isa.QueryDesc{
+				HeaderAddr: p.Header,
+				KeyAddr:    p.Key,
+				KeyLen:     p.KeyLen,
+				Tag:        uint64(i),
+			}, uint64(eng.Now()))
+			if err != nil {
+				issueErr = err
+				return
+			}
+			latencies = append(latencies, done-uint64(eng.Now()))
+		})
+	}
+	eng.Run()
+	if issueErr != nil {
+		return profile, issueErr
+	}
+
+	var sum uint64
+	for _, l := range latencies {
+		sum += l
+	}
+	profile.AvgLatency = float64(sum) / float64(len(latencies))
+	sorted := append([]uint64(nil), latencies...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	pct := func(p float64) uint64 {
+		idx := int(p * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	profile.P50 = pct(0.50)
+	profile.P95 = pct(0.95)
+	profile.P99 = pct(0.99)
+	profile.Max = sorted[len(sorted)-1]
+	return profile, nil
+}

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"testing"
+
+	"qei/internal/scheme"
+)
+
+func TestOpenLoopLatencyBasics(t *testing.T) {
+	b := SmallDPDK()
+	p, err := OpenLoopLatency(b, scheme.CoreIntegrated, 500, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Queries != 100 {
+		t.Fatalf("queries = %d", p.Queries)
+	}
+	if p.AvgLatency <= 0 || p.P99 < p.P50 || p.Max < p.P99 {
+		t.Fatalf("inconsistent profile: %+v", p)
+	}
+}
+
+func TestOpenLoopTailGrowsUnderLoad(t *testing.T) {
+	// At arrival intervals far below the per-query service rate the QST
+	// saturates and queueing delay pushes the tail out; at relaxed
+	// arrival rates the tail stays near the unloaded latency.
+	b := SmallDPDK()
+	relaxed, err := OpenLoopLatency(b, scheme.CoreIntegrated, 2000, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slammed, err := OpenLoopLatency(b, scheme.CoreIntegrated, 5, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slammed.P99 <= relaxed.P99 {
+		t.Fatalf("p99 under overload (%d) should exceed relaxed p99 (%d)",
+			slammed.P99, relaxed.P99)
+	}
+	if slammed.AvgLatency <= relaxed.AvgLatency {
+		t.Fatal("average latency should grow under overload")
+	}
+}
+
+func TestOpenLoopDeviceTailWorse(t *testing.T) {
+	// The device schemes' long access latency shows directly in the
+	// unloaded latency distribution (Sec. II-B, Challenge 2).
+	b := SmallDPDK()
+	core, err := OpenLoopLatency(b, scheme.CoreIntegrated, 3000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := OpenLoopLatency(b, scheme.DeviceIndirect, 3000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.P50 <= core.P50 {
+		t.Fatalf("device median latency (%d) should exceed core-integrated (%d)", dev.P50, core.P50)
+	}
+}
+
+func TestOpenLoopValidation(t *testing.T) {
+	if _, err := OpenLoopLatency(SmallDPDK(), scheme.CoreIntegrated, 0, 10); err == nil {
+		t.Fatal("zero interarrival accepted")
+	}
+}

@@ -1,0 +1,225 @@
+package workload
+
+import (
+	"testing"
+
+	"qei/internal/scheme"
+)
+
+func TestBaselineRunsCleanAllBenchmarks(t *testing.T) {
+	for _, b := range AllSmall() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			t.Parallel()
+			run, err := RunBaseline(b, Full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if run.Mismatches != 0 {
+				t.Fatalf("%d result mismatches", run.Mismatches)
+			}
+			if run.Queries == 0 || run.Cycles == 0 {
+				t.Fatalf("empty run: %+v", run)
+			}
+			if run.Core.Instructions == 0 {
+				t.Fatal("no instructions retired")
+			}
+		})
+	}
+}
+
+func TestQEIRunsCleanAllBenchmarks(t *testing.T) {
+	for _, b := range AllSmall() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			t.Parallel()
+			run, err := RunQEI(b, scheme.CoreIntegrated, Full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if run.Mismatches != 0 {
+				t.Fatalf("%d result mismatches", run.Mismatches)
+			}
+			if run.Accel == nil || run.Accel.Queries == 0 {
+				t.Fatal("accelerator saw no queries")
+			}
+		})
+	}
+}
+
+func TestQEIBeatsBaselineROI(t *testing.T) {
+	for _, b := range []Benchmark{SmallDPDK(), SmallJVM(), SmallRocksDB()} {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			t.Parallel()
+			sw, err := RunBaseline(b, ROIOnly)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hw, err := RunQEI(b, scheme.CoreIntegrated, ROIOnly)
+			if err != nil {
+				t.Fatal(err)
+			}
+			speedup := float64(sw.Cycles) / float64(hw.Cycles)
+			if speedup < 1.5 {
+				t.Fatalf("ROI speedup = %.2fx — QEI should clearly beat software", speedup)
+			}
+		})
+	}
+}
+
+func TestROISharesInProfileBand(t *testing.T) {
+	// Fig. 1: query operations take 23–44% of CPU time. Allow some slack
+	// around the band for the small test configurations.
+	for _, b := range AllSmall() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			t.Parallel()
+			share, err := ROIShare(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if share < 0.15 || share > 0.60 {
+				t.Fatalf("ROI share = %.2f, want within the profiled band (~0.23-0.44)", share)
+			}
+		})
+	}
+}
+
+func TestInstructionCountReduction(t *testing.T) {
+	// Fig. 11: QEI eliminates most dynamic instructions in the ROI.
+	b := SmallDPDK()
+	sw, err := RunBaseline(b, ROIOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := RunQEI(b, scheme.CoreIntegrated, ROIOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(hw.Core.Instructions) / float64(sw.Core.Instructions)
+	// Hash-table queries are the shortest software routines, so they show
+	// the smallest relative reduction; even there most dynamic
+	// instructions must disappear (Fig. 11).
+	if ratio > 0.40 {
+		t.Fatalf("QEI retains %.0f%% of baseline instructions; want <40%%", ratio*100)
+	}
+}
+
+func TestNonBlockingTupleSpace(t *testing.T) {
+	b := SmallTupleSpace(5)
+	run, err := RunQEINonBlocking(b, scheme.CoreIntegrated, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Mismatches != 0 {
+		t.Fatalf("%d mismatches", run.Mismatches)
+	}
+	if run.Accel.NonBlocking == 0 {
+		t.Fatal("no non-blocking queries issued")
+	}
+	if run.Queries != 96*5 {
+		t.Fatalf("queries = %d, want %d", run.Queries, 96*5)
+	}
+}
+
+func TestNonBlockingHelpsDeviceSchemesMost(t *testing.T) {
+	// Sec. VII-B: with QUERY_NB "the performance of the Device-based
+	// schemes becomes much better than using the blocking instruction"
+	// because hundreds of in-flight operations amortize the long access
+	// latency; the Core-integrated scheme is capped at its 10-entry QST.
+	b := SmallTupleSpace(10)
+	blocking, err := RunQEI(b, scheme.DeviceDirect, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := RunQEINonBlocking(b, scheme.DeviceDirect, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := float64(blocking.Cycles) / float64(nb.Cycles)
+	if gain < 1.3 {
+		t.Fatalf("device NB gain = %.2fx over blocking; want a clear win", gain)
+	}
+
+	// Core-integrated: NB cannot add much beyond the QST bound.
+	ciB, err := RunQEI(b, scheme.CoreIntegrated, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ciNB, err := RunQEINonBlocking(b, scheme.CoreIntegrated, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ciGain := float64(ciB.Cycles) / float64(ciNB.Cycles)
+	if ciGain > gain {
+		t.Fatalf("Core-integrated NB gain (%.2fx) should not exceed the device gain (%.2fx)", ciGain, gain)
+	}
+}
+
+func TestTupleSpeedupGrowsWithTuples(t *testing.T) {
+	// Fig. 10: "as the number of tuples increases, the speedup also
+	// increases due to the increasing parallelism."
+	speedup := func(tuples int) float64 {
+		b := SmallTupleSpace(tuples)
+		sw, err := RunBaseline(b, Full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nb, err := RunQEINonBlocking(b, scheme.CoreIntegrated, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(sw.Cycles) / float64(nb.Cycles)
+	}
+	s5 := speedup(5)
+	s15 := speedup(15)
+	if s15 <= s5 {
+		t.Fatalf("speedup should grow with tuple count: 5 tuples %.2fx, 15 tuples %.2fx", s5, s15)
+	}
+}
+
+func TestJVMAccessesPerQueryNearPaper(t *testing.T) {
+	// Paper: 39.9 memory accesses per query on the JVM benchmark.
+	b := DefaultJVM()
+	b.Objects = 20000 // keep the test quick; depth ~2ln(20000) ≈ 19.8
+	b.Queries = 100
+	run, err := RunQEI(b, scheme.CoreIntegrated, ROIOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perQuery := float64(run.Accel.MemLines) / float64(run.Accel.Queries)
+	if perQuery < 20 || perQuery > 70 {
+		t.Fatalf("JVM memory accesses per query = %.1f, want near the paper's ~39.9", perQuery)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	b := SmallDPDK()
+	r1, err := RunBaseline(b, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunBaseline(b, Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Core.Instructions != r2.Core.Instructions {
+		t.Fatalf("runs not deterministic: %d/%d vs %d/%d cycles/instrs",
+			r1.Cycles, r1.Core.Instructions, r2.Cycles, r2.Core.Instructions)
+	}
+}
+
+func TestFLANNProbesAllTables(t *testing.T) {
+	b := SmallFLANN()
+	run, err := RunQEI(b, scheme.CoreIntegrated, ROIOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Queries != 60*12 {
+		t.Fatalf("queries = %d, want %d (12 tables per request)", run.Queries, 60*12)
+	}
+	if run.Mismatches != 0 {
+		t.Fatalf("%d mismatches", run.Mismatches)
+	}
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"testing"
+
+	"qei/internal/scheme"
+)
+
+func TestZipfPickerSkewed(t *testing.T) {
+	z := NewZipfPicker(1000, 0.99, 1)
+	counts := make([]int, 1000)
+	for i := 0; i < 20000; i++ {
+		counts[z.Next()]++
+	}
+	// Rank-0 must dominate rank-100 by a large factor under s=0.99.
+	if counts[0] < counts[100]*5 {
+		t.Fatalf("rank-0 drawn %d times vs rank-100 %d — not skewed", counts[0], counts[100])
+	}
+	// Every draw in range.
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 20000 {
+		t.Fatalf("draws = %d", total)
+	}
+}
+
+func TestZipfPickerUniformAtZero(t *testing.T) {
+	z := NewZipfPicker(10, 0, 2)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[z.Next()]++
+	}
+	for r, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("rank %d drawn %d/10000 under uniform exponent", r, c)
+		}
+	}
+}
+
+func TestSkewedDPDKRuns(t *testing.T) {
+	b := SmallSkewedDPDK()
+	sw, err := RunBaseline(b, ROIOnly, WithWarmup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Mismatches != 0 {
+		t.Fatalf("%d mismatches", sw.Mismatches)
+	}
+	hw, err := RunQEI(b, scheme.CoreIntegrated, ROIOnly, WithWarmup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.Mismatches != 0 {
+		t.Fatalf("%d accelerated mismatches", hw.Mismatches)
+	}
+}
+
+func TestSkewShrinksBaselineCost(t *testing.T) {
+	// Hot keys keep the software baseline in its private caches, so the
+	// skewed stream must be cheaper per query than the uniform one.
+	uni, err := RunBaseline(SmallDPDK(), ROIOnly, WithWarmup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew, err := RunBaseline(SmallSkewedDPDK(), ROIOnly, WithWarmup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniCPQ := float64(uni.Cycles) / float64(uni.Queries)
+	skewCPQ := float64(skew.Cycles) / float64(skew.Queries)
+	if skewCPQ >= uniCPQ {
+		t.Fatalf("skewed baseline %.1f cyc/q should beat uniform %.1f cyc/q", skewCPQ, uniCPQ)
+	}
+}

@@ -1,0 +1,252 @@
+package qei
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func testKeys(n, keyLen int, seed int64) ([][]byte, []uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[string]bool{}
+	keys := make([][]byte, 0, n)
+	vals := make([]uint64, 0, n)
+	for len(keys) < n {
+		k := make([]byte, keyLen)
+		rng.Read(k)
+		if seen[string(k)] {
+			continue
+		}
+		seen[string(k)] = true
+		keys = append(keys, k)
+		vals = append(vals, rng.Uint64()|1)
+	}
+	return keys, vals
+}
+
+func TestSystemQuickstartFlow(t *testing.T) {
+	sys := NewSystem(CoreIntegrated)
+	keys, vals := testKeys(500, 16, 1)
+	table := sys.MustBuildCuckoo(keys, vals)
+	for i := 0; i < 100; i++ {
+		res, err := sys.Query(table, keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || res.Value != vals[i] {
+			t.Fatalf("key %d: %+v want %d", i, res, vals[i])
+		}
+		if res.Latency == 0 {
+			t.Fatal("zero latency reported")
+		}
+	}
+	res, err := sys.Query(table, make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("absent key found")
+	}
+	if sys.Stats().Queries != 101 {
+		t.Fatalf("stats queries = %d", sys.Stats().Queries)
+	}
+}
+
+func TestAllBuildersAndSchemes(t *testing.T) {
+	keys, vals := testKeys(200, 16, 2)
+	for _, sch := range Schemes() {
+		sch := sch
+		t.Run(sch.String(), func(t *testing.T) {
+			t.Parallel()
+			sys := NewSystem(sch)
+			tables := []Table{}
+			for _, build := range []func() (Table, error){
+				func() (Table, error) { return sys.BuildCuckoo(keys, vals) },
+				func() (Table, error) { return sys.BuildHashTable(keys, vals) },
+				func() (Table, error) { return sys.BuildSkipList(keys, vals) },
+				func() (Table, error) { return sys.BuildBST(keys, vals, 64) },
+				func() (Table, error) { return sys.BuildLinkedList(keys[:30], vals[:30]) },
+			} {
+				tb, err := build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				tables = append(tables, tb)
+			}
+			for ti, tb := range tables {
+				n := 50
+				if tb.Kind == "linkedlist" {
+					n = 30
+				}
+				for i := 0; i < n; i++ {
+					res, err := sys.Query(tb, keys[i])
+					if err != nil {
+						t.Fatalf("%s: %v", tb.Kind, err)
+					}
+					if !res.Found || res.Value != vals[i] {
+						t.Fatalf("table %d (%s) key %d: got %+v want %d", ti, tb.Kind, i, res, vals[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestTrieScanAPI(t *testing.T) {
+	sys := NewSystem(CoreIntegrated)
+	tr, err := sys.BuildTrie([][]byte{[]byte("alpha"), []byte("beta")}, []uint64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Scan(tr, []byte("xx alpha yy beta zz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 2 || res.Matches[0] != 10 || res.Matches[1] != 20 {
+		t.Fatalf("matches = %v", res.Matches)
+	}
+	// Scan on a non-trie table must be rejected.
+	keys, vals := testKeys(10, 8, 3)
+	ht, _ := sys.BuildHashTable(keys, vals)
+	if _, err := sys.Scan(ht, []byte("x")); err == nil {
+		t.Fatal("Scan accepted a hash table")
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	sys := NewSystem(CoreIntegrated)
+	if _, err := sys.BuildCuckoo(nil, nil); err == nil {
+		t.Fatal("empty key set accepted")
+	}
+	if _, err := sys.BuildCuckoo([][]byte{{1, 2}}, []uint64{1, 2}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := sys.BuildCuckoo([][]byte{{1, 2}, {1, 2, 3}}, []uint64{1, 2}); err == nil {
+		t.Fatal("ragged keys accepted")
+	}
+	if _, err := sys.BuildTrie([][]byte{[]byte("x")}, []uint64{0}); err == nil {
+		t.Fatal("zero trie value accepted")
+	}
+	if _, err := sys.BuildBST([][]byte{{1}}, []uint64{1}, -1); err == nil {
+		t.Fatal("negative payload accepted")
+	}
+}
+
+func TestAsyncQueryFlow(t *testing.T) {
+	sys := NewSystem(CoreIntegrated)
+	keys, vals := testKeys(100, 16, 4)
+	table := sys.MustBuildCuckoo(keys, vals)
+	handles := make([]AsyncHandle, 10)
+	for i := range handles {
+		h, err := sys.QueryAsync(table, keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	for i, h := range handles {
+		res, err := sys.Wait(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || res.Value != vals[i] {
+			t.Fatalf("async %d: %+v want %d", i, res, vals[i])
+		}
+	}
+}
+
+func TestQueryLatencyOrderingAcrossSchemes(t *testing.T) {
+	keys, vals := testKeys(300, 32, 5)
+	latency := func(s Scheme) uint64 {
+		sys := NewSystem(s)
+		tb, err := sys.BuildSkipList(keys, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total uint64
+		for i := 0; i < 20; i++ {
+			res, err := sys.Query(tb, keys[i*10])
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.Latency
+		}
+		return total
+	}
+	ci := latency(CoreIntegrated)
+	di := latency(DeviceIndirect)
+	if ci >= di {
+		t.Fatalf("Core-integrated latency (%d) should beat Device-indirect (%d)", ci, di)
+	}
+}
+
+func TestExperimentTablesRender(t *testing.T) {
+	tabI := TabI()
+	if len(tabI.Rows) != 5 {
+		t.Fatalf("TabI rows = %d", len(tabI.Rows))
+	}
+	if !strings.Contains(tabI.String(), "Core-integrated") {
+		t.Fatal("TabI text missing Core-integrated")
+	}
+	if !strings.Contains(tabI.CSV(), "scheme,") {
+		t.Fatal("CSV header missing")
+	}
+	tabII := TabII()
+	if len(tabII.Rows) == 0 {
+		t.Fatal("TabII empty")
+	}
+	tabIII := TabIII()
+	if len(tabIII.Rows) != 3 {
+		t.Fatalf("TabIII rows = %d", len(tabIII.Rows))
+	}
+}
+
+func TestFig1SmallScale(t *testing.T) {
+	res, err := Fig1QueryTimeShare(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("Fig1 rows = %d, want 5", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		var pct float64
+		if _, err := fmt.Sscanf(r[1], "%f", &pct); err != nil {
+			t.Fatal(err)
+		}
+		if pct < 15 || pct > 60 {
+			t.Fatalf("%s query share %.1f%% outside plausible band", r[0], pct)
+		}
+	}
+}
+
+func TestFig11SmallScale(t *testing.T) {
+	res, err := Fig11InstrReduction(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		var red float64
+		fmt.Sscanf(r[3], "%f", &red)
+		if red < 50 {
+			t.Fatalf("%s instruction reduction only %.1f%%", r[0], red)
+		}
+	}
+}
+
+func TestPublicTracing(t *testing.T) {
+	sys := NewSystem(CoreIntegrated)
+	keys, vals := testKeys(64, 16, 70)
+	tb := sys.MustBuildCuckoo(keys, vals)
+	sys.EnableTracing()
+	for i := 0; i < 12; i++ {
+		if _, err := sys.Query(tb, keys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	doc := sys.ExportTrace()
+	if !strings.Contains(doc, `"ph":"X"`) || !strings.Contains(doc, "query-") {
+		t.Fatalf("trace export malformed:\n%s", doc)
+	}
+}

@@ -1,0 +1,401 @@
+package qei
+
+import (
+	"fmt"
+
+	"qei/internal/cfa"
+	"qei/internal/dstruct"
+	"qei/internal/isa"
+	"qei/internal/machine"
+	"qei/internal/mem"
+	"qei/internal/qei"
+	"qei/internal/scheme"
+)
+
+// Scheme selects how the accelerator is integrated into the CPU
+// (Sec. V / Sec. VI-A of the paper).
+type Scheme int
+
+// The five evaluated integration schemes.
+const (
+	// CoreIntegrated is the paper's proposal: QST/CEE beside each core's
+	// L2 and L2-TLB, comparators distributed into the CHAs.
+	CoreIntegrated Scheme = iota
+	// CHATLB places an accelerator with a dedicated TLB in every CHA.
+	CHATLB
+	// CHANoTLB places accelerators in the CHAs but translates through
+	// the core's MMU.
+	CHANoTLB
+	// DeviceDirect attaches one accelerator to the NoC as a special core.
+	DeviceDirect
+	// DeviceIndirect attaches the accelerator behind a standard device
+	// interface, paying interface latency on every access.
+	DeviceIndirect
+)
+
+// Schemes lists all integration schemes in the paper's order.
+func Schemes() []Scheme {
+	return []Scheme{CHATLB, CHANoTLB, DeviceDirect, DeviceIndirect, CoreIntegrated}
+}
+
+func (s Scheme) String() string { return s.kind().String() }
+
+func (s Scheme) kind() scheme.Kind {
+	switch s {
+	case CoreIntegrated:
+		return scheme.CoreIntegrated
+	case CHATLB:
+		return scheme.CHATLB
+	case CHANoTLB:
+		return scheme.CHANoTLB
+	case DeviceDirect:
+		return scheme.DeviceDirect
+	case DeviceIndirect:
+		return scheme.DeviceIndirect
+	default:
+		panic(fmt.Sprintf("qei: unknown scheme %d", int(s)))
+	}
+}
+
+// Table is a handle to a data structure laid out in the simulated
+// machine's memory and described by a Fig. 4 metadata header.
+type Table struct {
+	header mem.VAddr
+	// Kind is the structure's type name ("cuckoo", "skiplist", ...).
+	Kind string
+	// KeyLen is the fixed key length stored in the header.
+	KeyLen int
+}
+
+// HeaderAddr returns the simulated virtual address of the structure's
+// metadata header (what software passes to the QUERY instructions).
+func (t Table) HeaderAddr() uint64 { return uint64(t.header) }
+
+// Result is the outcome of one accelerated query.
+type Result struct {
+	// Found reports whether the key matched.
+	Found bool
+	// Value is the matched 64-bit value (in real applications, a pointer
+	// to the data).
+	Value uint64
+	// Matches holds all match values of a trie scan, in match order.
+	Matches []uint64
+	// Latency is the query's end-to-end cycle count as observed by the
+	// issuing core (issue to result writeback).
+	Latency uint64
+	// Err carries the architectural exception, if the query faulted.
+	Err error
+}
+
+// System is one simulated machine with a QEI accelerator attached to
+// core 0 under a chosen integration scheme.
+type System struct {
+	m     *machine.Machine
+	reg   *cfa.Registry
+	accel *qei.Accelerator
+	sch   Scheme
+	now   uint64
+	tag   uint64
+}
+
+// NewSystem builds a 24-core machine (Tab. II configuration) with a QEI
+// accelerator in the given integration scheme.
+func NewSystem(s Scheme) *System {
+	m := machine.NewDefault()
+	reg := cfa.DefaultRegistry()
+	return &System{
+		m:     m,
+		reg:   reg,
+		accel: qei.New(m, scheme.ForKind(s.kind()), reg, 0),
+		sch:   s,
+	}
+}
+
+// Scheme reports the system's integration scheme.
+func (s *System) Scheme() Scheme { return s.sch }
+
+// Now returns the simulated cycle reached by the issue clock.
+func (s *System) Now() uint64 { return s.now }
+
+// Advance moves the issue clock forward by n cycles (idle time between
+// query bursts).
+func (s *System) Advance(n uint64) { s.now += n }
+
+// Write stores raw bytes at a fresh cacheline-aligned location in the
+// simulated address space and returns its address — how applications
+// stage probe keys and payloads.
+func (s *System) Write(data []byte) uint64 {
+	a := s.m.AS.AllocLines(uint64(len(data)))
+	s.m.AS.MustWrite(a, data)
+	return uint64(a)
+}
+
+// validateKV checks builder inputs.
+func validateKV(keys [][]byte, values []uint64) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("qei: %d keys but %d values", len(keys), len(values))
+	}
+	if len(keys) == 0 {
+		return fmt.Errorf("qei: empty key set")
+	}
+	l := len(keys[0])
+	for i, k := range keys {
+		if len(k) != l {
+			return fmt.Errorf("qei: key %d has length %d, want %d", i, len(k), l)
+		}
+	}
+	return nil
+}
+
+// BuildCuckoo lays out a DPDK-style two-choice bucketed cuckoo hash
+// table holding the given fixed-length keys.
+func (s *System) BuildCuckoo(keys [][]byte, values []uint64) (Table, error) {
+	if err := validateKV(keys, values); err != nil {
+		return Table{}, err
+	}
+	c := dstruct.BuildCuckoo(s.m.AS, uint64(len(keys)/2), 8, 0x9E37, keys, values)
+	return Table{header: c.HeaderAddr, Kind: "cuckoo", KeyLen: int(c.KeyLen)}, nil
+}
+
+// MustBuildCuckoo is BuildCuckoo, panicking on invalid input.
+func (s *System) MustBuildCuckoo(keys [][]byte, values []uint64) Table {
+	t, err := s.BuildCuckoo(keys, values)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// BuildHashTable lays out a chained hash table (the hash-table-of-
+// linked-lists combined structure).
+func (s *System) BuildHashTable(keys [][]byte, values []uint64) (Table, error) {
+	if err := validateKV(keys, values); err != nil {
+		return Table{}, err
+	}
+	h := dstruct.BuildHashTable(s.m.AS, uint64(len(keys)/4), 0x51ED, keys, values)
+	return Table{header: h.HeaderAddr, Kind: "hashtable", KeyLen: int(h.KeyLen)}, nil
+}
+
+// BuildSkipList lays out a sorted skip list (RocksDB-memtable style).
+func (s *System) BuildSkipList(keys [][]byte, values []uint64) (Table, error) {
+	if err := validateKV(keys, values); err != nil {
+		return Table{}, err
+	}
+	sl := dstruct.BuildSkipList(s.m.AS, 7, keys, values)
+	return Table{header: sl.HeaderAddr, Kind: "skiplist", KeyLen: int(sl.KeyLen)}, nil
+}
+
+// BuildBST lays out a binary search tree whose nodes carry payload extra
+// bytes of object body (the JVM object-tree shape).
+func (s *System) BuildBST(keys [][]byte, values []uint64, payload int) (Table, error) {
+	if err := validateKV(keys, values); err != nil {
+		return Table{}, err
+	}
+	if payload < 0 {
+		return Table{}, fmt.Errorf("qei: negative payload %d", payload)
+	}
+	b := dstruct.BuildBST(s.m.AS, 7, payload, keys, values)
+	return Table{header: b.HeaderAddr, Kind: "bst", KeyLen: int(b.KeyLen)}, nil
+}
+
+// BuildLinkedList lays out a singly linked list in the given order.
+func (s *System) BuildLinkedList(keys [][]byte, values []uint64) (Table, error) {
+	if err := validateKV(keys, values); err != nil {
+		return Table{}, err
+	}
+	l := dstruct.BuildLinkedList(s.m.AS, keys, values)
+	return Table{header: l.HeaderAddr, Kind: "linkedlist", KeyLen: int(l.KeyLen)}, nil
+}
+
+// BuildBTree bulk-loads a B+-tree index (fanout 16) over the keys.
+func (s *System) BuildBTree(keys [][]byte, values []uint64) (Table, error) {
+	if err := validateKV(keys, values); err != nil {
+		return Table{}, err
+	}
+	bt := dstruct.BuildBTree(s.m.AS, 16, keys, values)
+	return Table{header: bt.HeaderAddr, Kind: "btree", KeyLen: int(bt.KeyLen)}, nil
+}
+
+// BuildTrie compiles a keyword dictionary into an Aho-Corasick automaton
+// for Scan queries. values must be non-zero; values[i] is reported when
+// keywords[i] matches.
+func (s *System) BuildTrie(keywords [][]byte, values []uint64) (Table, error) {
+	if len(keywords) != len(values) {
+		return Table{}, fmt.Errorf("qei: %d keywords but %d values", len(keywords), len(values))
+	}
+	if len(keywords) == 0 {
+		return Table{}, fmt.Errorf("qei: empty dictionary")
+	}
+	for i, v := range values {
+		if v == 0 {
+			return Table{}, fmt.Errorf("qei: value %d is zero (reserved for no-match)", i)
+		}
+	}
+	tr := dstruct.BuildTrie(s.m.AS, keywords, values)
+	return Table{header: tr.HeaderAddr, Kind: "trie", KeyLen: 1}, nil
+}
+
+// Query performs a blocking QUERY_B lookup of key in t through the
+// accelerator, returning the architectural result and its latency.
+func (s *System) Query(t Table, key []byte) (Result, error) {
+	keyAddr := s.Write(key)
+	return s.QueryAt(t, keyAddr, len(key))
+}
+
+// QueryAt is Query for a key already staged in simulated memory.
+func (s *System) QueryAt(t Table, keyAddr uint64, keyLen int) (Result, error) {
+	tag := s.nextTag()
+	desc := &isa.QueryDesc{
+		HeaderAddr: t.header,
+		KeyAddr:    mem.VAddr(keyAddr),
+		Tag:        tag,
+	}
+	if t.Kind == "trie" {
+		desc.KeyLen = uint32(keyLen)
+	}
+	done, err := s.accel.IssueBlocking(desc, s.now)
+	if err != nil {
+		return Result{}, err
+	}
+	r, ok := s.accel.Result(tag)
+	if !ok {
+		return Result{}, fmt.Errorf("qei: result for tag %d missing", tag)
+	}
+	res := Result{
+		Found:   r.Found,
+		Value:   r.Value,
+		Matches: r.Matches,
+		Latency: done - s.now,
+		Err:     r.Fault,
+	}
+	s.now = done
+	return res, nil
+}
+
+// Scan runs input through a trie table (the Snort literal-matching use
+// case): one query whose "key" is the whole input buffer.
+func (s *System) Scan(t Table, input []byte) (Result, error) {
+	if t.Kind != "trie" {
+		return Result{}, fmt.Errorf("qei: Scan needs a trie table, got %s", t.Kind)
+	}
+	return s.Query(t, input)
+}
+
+// AsyncHandle identifies an in-flight non-blocking query.
+type AsyncHandle struct {
+	tag        uint64
+	resultAddr mem.VAddr
+	accepted   uint64
+}
+
+// QueryAsync issues a non-blocking QUERY_NB lookup. The issue clock
+// advances only to the acceptance point; Wait retrieves the result.
+func (s *System) QueryAsync(t Table, key []byte) (AsyncHandle, error) {
+	keyAddr := s.Write(key)
+	resAddr := s.m.AS.AllocLines(mem.LineSize)
+	tag := s.nextTag()
+	desc := &isa.QueryDesc{
+		HeaderAddr: t.header,
+		KeyAddr:    mem.VAddr(keyAddr),
+		ResultAddr: resAddr,
+		Tag:        tag,
+	}
+	if t.Kind == "trie" {
+		desc.KeyLen = uint32(len(key))
+	}
+	accepted, err := s.accel.IssueNonBlocking(desc, s.now)
+	if err != nil {
+		return AsyncHandle{}, err
+	}
+	s.now = accepted
+	return AsyncHandle{tag: tag, resultAddr: resAddr, accepted: accepted}, nil
+}
+
+// Wait polls an async query's result (the SNAPSHOT_READ loop of List 2),
+// advancing the issue clock to its completion if needed.
+func (s *System) Wait(h AsyncHandle) (Result, error) {
+	r, ok := s.accel.Result(h.tag)
+	if !ok {
+		return Result{}, fmt.Errorf("qei: unknown async handle")
+	}
+	if r.Done > s.now {
+		s.now = r.Done
+	}
+	// The completion flag is visible at the result address.
+	flag, err := s.m.AS.ReadU64(h.resultAddr)
+	if err != nil {
+		return Result{}, err
+	}
+	if flag == 0 {
+		return Result{}, fmt.Errorf("qei: async result not yet written")
+	}
+	return Result{
+		Found:   r.Found,
+		Value:   r.Value,
+		Matches: r.Matches,
+		Latency: r.Done - h.accepted,
+		Err:     r.Fault,
+	}, nil
+}
+
+// EnableTracing starts recording one span per query (issue→completion,
+// QST instance and slot). ExportTrace renders the spans in Chrome
+// tracing JSON (chrome://tracing, Perfetto), making the QST's
+// out-of-order overlap visible — the pipelined-CFA picture of Sec. IV-B.
+func (s *System) EnableTracing() { s.accel.EnableTracing() }
+
+// ExportTrace returns the recorded query spans as a Chrome tracing JSON
+// document.
+func (s *System) ExportTrace() string {
+	return qei.ExportChromeTrace(s.accel.Spans())
+}
+
+// Interrupt models a context-switch interrupt hitting the core
+// (Sec. IV-D): the accelerator is flushed, in-flight non-blocking
+// queries are aborted with abort codes written to their result
+// addresses so software can restart them, and the issue clock advances
+// by the flush latency. It returns the number of cycles the flush cost.
+func (s *System) Interrupt() uint64 {
+	lat := s.accel.Flush(s.now)
+	s.now += lat
+	return lat
+}
+
+// Aborted reports whether an async query was flushed by an interrupt
+// before completing; aborted queries should be reissued.
+func (s *System) Aborted(h AsyncHandle) bool {
+	r, ok := s.accel.Result(h.tag)
+	return ok && r.Aborted
+}
+
+// Stats summarizes accelerator activity.
+type Stats struct {
+	Queries        uint64
+	Transitions    uint64
+	MemLines       uint64
+	LocalCompares  uint64
+	RemoteCompares uint64
+	Exceptions     uint64
+	// Occupancy is the average number of busy QST entries over the
+	// active window.
+	Occupancy float64
+}
+
+// Stats returns the accelerator's accumulated activity.
+func (s *System) Stats() Stats {
+	st := s.accel.Stats()
+	return Stats{
+		Queries:        st.Queries,
+		Transitions:    st.Transitions,
+		MemLines:       st.MemLines,
+		LocalCompares:  st.LocalCompares,
+		RemoteCompares: st.RemoteCompares,
+		Exceptions:     st.Exceptions,
+		Occupancy:      st.Occupancy(),
+	}
+}
+
+func (s *System) nextTag() uint64 {
+	s.tag++
+	return s.tag
+}

@@ -1,0 +1,122 @@
+package qei
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qei/internal/dstruct"
+)
+
+// Update operations. Per the paper (Sec. IV-A), QEI accelerates queries
+// only; inserts and deletes remain software routines. Because the
+// accelerator and the cores read the same coherent simulated memory, a
+// Query issued immediately after an update observes it — the library
+// exposes the updates so applications can mix both, as the paper's
+// read-intensive usage model intends.
+//
+// Handles returned by the Build functions are immutable descriptors; to
+// mutate a structure, create it with the Mutable variants below, which
+// return a handle carrying the mutation state.
+
+// MutableTable wraps a Table with software update operations.
+type MutableTable struct {
+	Table
+	sys *System
+	ck  *dstruct.Cuckoo
+	sl  *dstruct.SkipList
+	bs  *dstruct.BST
+	ll  *dstruct.LinkedList
+	rng *rand.Rand
+}
+
+// BuildMutableCuckoo is BuildCuckoo returning an updatable handle.
+func (s *System) BuildMutableCuckoo(keys [][]byte, values []uint64) (*MutableTable, error) {
+	if err := validateKV(keys, values); err != nil {
+		return nil, err
+	}
+	c := dstruct.BuildCuckoo(s.m.AS, uint64(len(keys)), 8, 0x9E37, keys, values)
+	return &MutableTable{
+		Table: Table{header: c.HeaderAddr, Kind: "cuckoo", KeyLen: int(c.KeyLen)},
+		sys:   s,
+		ck:    c,
+	}, nil
+}
+
+// BuildMutableSkipList is BuildSkipList returning an updatable handle.
+func (s *System) BuildMutableSkipList(keys [][]byte, values []uint64) (*MutableTable, error) {
+	if err := validateKV(keys, values); err != nil {
+		return nil, err
+	}
+	sl := dstruct.BuildSkipList(s.m.AS, 7, keys, values)
+	return &MutableTable{
+		Table: Table{header: sl.HeaderAddr, Kind: "skiplist", KeyLen: int(sl.KeyLen)},
+		sys:   s,
+		sl:    sl,
+		rng:   rand.New(rand.NewSource(7)),
+	}, nil
+}
+
+// BuildMutableBST is BuildBST returning an updatable handle.
+func (s *System) BuildMutableBST(keys [][]byte, values []uint64, payload int) (*MutableTable, error) {
+	if err := validateKV(keys, values); err != nil {
+		return nil, err
+	}
+	if payload < 0 {
+		return nil, fmt.Errorf("qei: negative payload %d", payload)
+	}
+	b := dstruct.BuildBST(s.m.AS, 7, payload, keys, values)
+	return &MutableTable{
+		Table: Table{header: b.HeaderAddr, Kind: "bst", KeyLen: int(b.KeyLen)},
+		sys:   s,
+		bs:    b,
+	}, nil
+}
+
+// BuildMutableLinkedList is BuildLinkedList returning an updatable handle.
+func (s *System) BuildMutableLinkedList(keys [][]byte, values []uint64) (*MutableTable, error) {
+	if err := validateKV(keys, values); err != nil {
+		return nil, err
+	}
+	l := dstruct.BuildLinkedList(s.m.AS, keys, values)
+	return &MutableTable{
+		Table: Table{header: l.HeaderAddr, Kind: "linkedlist", KeyLen: int(l.KeyLen)},
+		sys:   s,
+		ll:    l,
+	}, nil
+}
+
+// Insert adds or updates a key/value pair in software. The cycle cost of
+// the software routine is not modelled (updates are rare in the paper's
+// read-intensive target workloads).
+func (t *MutableTable) Insert(key []byte, value uint64) error {
+	switch {
+	case t.ck != nil:
+		return t.ck.Insert(t.sys.m.AS, key, value)
+	case t.sl != nil:
+		return t.sl.Insert(t.sys.m.AS, t.rng, key, value)
+	case t.bs != nil:
+		return t.bs.Insert(t.sys.m.AS, key, value)
+	case t.ll != nil:
+		return t.ll.InsertFront(t.sys.m.AS, key, value)
+	default:
+		return fmt.Errorf("qei: %s does not support Insert", t.Kind)
+	}
+}
+
+// Delete removes a key, reporting whether it existed. Only cuckoo tables
+// and linked lists support deletion in this reproduction.
+func (t *MutableTable) Delete(key []byte) (bool, error) {
+	switch {
+	case t.ck != nil:
+		return t.ck.Delete(t.sys.m.AS, key)
+	case t.ll != nil:
+		return t.ll.Remove(t.sys.m.AS, key)
+	default:
+		return false, fmt.Errorf("qei: %s does not support Delete", t.Kind)
+	}
+}
+
+// Query runs an accelerated lookup against the mutable table.
+func (t *MutableTable) Query(key []byte) (Result, error) {
+	return t.sys.Query(t.Table, key)
+}

@@ -1,0 +1,180 @@
+package qei
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSoftwareUpdateHardwareQueryCoexistence(t *testing.T) {
+	// The paper's usage model: updates in software, queries on QEI, both
+	// over the same coherent memory. An accelerated query issued right
+	// after an insert must observe it; after a delete, miss.
+	sys := NewSystem(CoreIntegrated)
+	keys, vals := testKeys(200, 16, 20)
+	tb, err := sys.BuildMutableCuckoo(keys[:100], vals[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Insert new keys in software, query each via the accelerator.
+	for i := 100; i < 150; i++ {
+		if err := tb.Insert(keys[i], vals[i]); err != nil {
+			t.Fatal(err)
+		}
+		res, err := tb.Query(keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || res.Value != vals[i] {
+			t.Fatalf("accelerator did not observe software insert %d: %+v", i, res)
+		}
+	}
+	// Delete and verify the accelerator observes the removal.
+	for i := 0; i < 50; i++ {
+		ok, err := tb.Delete(keys[i])
+		if err != nil || !ok {
+			t.Fatalf("delete %d: %v %v", i, ok, err)
+		}
+		res, err := tb.Query(keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found {
+			t.Fatalf("accelerator still finds deleted key %d", i)
+		}
+	}
+}
+
+func TestMutableSkipListAndBST(t *testing.T) {
+	sys := NewSystem(CoreIntegrated)
+	keys, vals := testKeys(120, 32, 21)
+
+	sl, err := sys.BuildMutableSkipList(keys[:60], vals[:60])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 60; i < 90; i++ {
+		if err := sl.Insert(keys[i], vals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 90; i++ {
+		res, err := sl.Query(keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || res.Value != vals[i] {
+			t.Fatalf("skiplist key %d: %+v", i, res)
+		}
+	}
+	if _, err := sl.Delete(keys[0]); err == nil {
+		t.Fatal("skiplist delete should be unsupported")
+	}
+
+	bkeys, bvals := testKeys(80, 8, 22)
+	bst, err := sys.BuildMutableBST(bkeys[:40], bvals[:40], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 40; i < 80; i++ {
+		if err := bst.Insert(bkeys[i], bvals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 80; i++ {
+		res, err := bst.Query(bkeys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || res.Value != bvals[i] {
+			t.Fatalf("bst key %d: %+v", i, res)
+		}
+	}
+}
+
+func TestMutableLinkedList(t *testing.T) {
+	sys := NewSystem(CoreIntegrated)
+	keys, vals := testKeys(30, 16, 23)
+	ll, err := sys.BuildMutableLinkedList(keys[:20], vals[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prepend: the accelerator must observe the republished header root.
+	for i := 20; i < 30; i++ {
+		if err := ll.Insert(keys[i], vals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := ll.Query(keys[29])
+	if err != nil || !res.Found || res.Value != vals[29] {
+		t.Fatalf("prepended key not visible to accelerator: %+v %v", res, err)
+	}
+	ok, err := ll.Delete(keys[25])
+	if err != nil || !ok {
+		t.Fatalf("list delete: %v %v", ok, err)
+	}
+	res, _ = ll.Query(keys[25])
+	if res.Found {
+		t.Fatal("deleted list key still visible")
+	}
+}
+
+func TestMutableKeyValidation(t *testing.T) {
+	sys := NewSystem(CoreIntegrated)
+	keys, vals := testKeys(10, 16, 24)
+	tb, err := sys.BuildMutableCuckoo(keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(bytes.Repeat([]byte{1}, 7), 1); err == nil {
+		t.Fatal("wrong-length key accepted")
+	}
+}
+
+func TestInterruptFlushAPI(t *testing.T) {
+	// Sec. IV-D: an interrupt flushes in-flight non-blocking queries;
+	// software observes the abort code and reissues.
+	sys := NewSystem(CoreIntegrated)
+	keys, vals := testKeys(100, 32, 25)
+	tb, err := sys.BuildSkipList(keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Issue a burst of async queries (long-latency pointer chases), then
+	// interrupt before they can possibly complete.
+	handles := make([]AsyncHandle, 8)
+	for i := range handles {
+		h, err := sys.QueryAsync(tb, keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	lat := sys.Interrupt()
+	if lat == 0 {
+		t.Fatal("flush with pending queries should cost cycles")
+	}
+	aborted := 0
+	for _, h := range handles {
+		if sys.Aborted(h) {
+			aborted++
+		}
+	}
+	if aborted == 0 {
+		t.Fatal("no queries aborted by the interrupt")
+	}
+	// Reissue the aborted work; it must succeed now.
+	for i := range handles {
+		res, err := sys.Query(tb, keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || res.Value != vals[i] {
+			t.Fatalf("reissued query %d failed: %+v", i, res)
+		}
+	}
+	// A second interrupt with nothing in flight is free.
+	if lat := sys.Interrupt(); lat != 0 {
+		t.Fatalf("idle flush cost %d cycles", lat)
+	}
+}
