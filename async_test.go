@@ -1,0 +1,238 @@
+package qei
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestAsyncLifecycle walks the full Sec. IV-D story: issue, interrupt,
+// observe the abort through the sentinel errors, reissue.
+func TestAsyncLifecycle(t *testing.T) {
+	sys := NewSystem(CoreIntegrated)
+	keys, vals := testKeys(64, 32, 11)
+	tb, err := sys.BuildSkipList(keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := sys.QueryAsync(tb, keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The query is in flight at the issue point: Poll must not advance
+	// the clock and must report ErrResultPending.
+	before := sys.Now()
+	if _, err := sys.Poll(h); !errors.Is(err, ErrResultPending) {
+		t.Fatalf("Poll on in-flight query: err = %v, want ErrResultPending", err)
+	}
+	if sys.Now() != before {
+		t.Fatalf("Poll advanced the clock %d -> %d", before, sys.Now())
+	}
+
+	// Interrupt flushes it; both Wait and Poll now report ErrAborted.
+	sys.Interrupt()
+	if !sys.Aborted(h) {
+		t.Fatal("query not aborted by interrupt")
+	}
+	if _, err := sys.Wait(h); !errors.Is(err, ErrAborted) {
+		t.Fatalf("Wait on aborted query: err = %v, want ErrAborted", err)
+	}
+	if _, err := sys.Poll(h); !errors.Is(err, ErrAborted) {
+		t.Fatalf("Poll on aborted query: err = %v, want ErrAborted", err)
+	}
+
+	// Software reissues; the retry completes and verifies.
+	h2, err := sys.QueryAsync(tb, keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Wait(h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Value != vals[0] {
+		t.Fatalf("reissued query: %+v want value %d", res, vals[0])
+	}
+	// Once the clock has passed completion, Poll agrees with Wait.
+	if res2, err := sys.Poll(h2); err != nil || res2.Value != vals[0] {
+		t.Fatalf("Poll after completion: %+v, %v", res2, err)
+	}
+}
+
+func TestWaitUnknownHandle(t *testing.T) {
+	sys := NewSystem(CoreIntegrated)
+	if _, err := sys.Wait(AsyncHandle{tag: 999}); !errors.Is(err, ErrUnknownHandle) {
+		t.Fatalf("err = %v, want ErrUnknownHandle", err)
+	}
+	if _, err := sys.Poll(AsyncHandle{tag: 999}); !errors.Is(err, ErrUnknownHandle) {
+		t.Fatalf("Poll: err = %v, want ErrUnknownHandle", err)
+	}
+}
+
+func TestQueryAsyncQSTFull(t *testing.T) {
+	sys := NewSystem(CoreIntegrated)
+	keys, vals := testKeys(64, 32, 12)
+	tb, err := sys.BuildSkipList(keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := sys.QSTCapacity()
+	handles := make([]AsyncHandle, 0, cap)
+	full := false
+	// Issue until the architectural bound trips. The clock advances at
+	// each accept, so early queries may retire mid-loop; issuing 4x the
+	// capacity guarantees the bound is reached if it is enforced at all.
+	for i := 0; i < 4*cap; i++ {
+		h, err := sys.QueryAsync(tb, keys[i%len(keys)])
+		if errors.Is(err, ErrQSTFull) {
+			full = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	if !full {
+		t.Fatalf("issued %d queries (QST capacity %d) without ErrQSTFull", 4*cap, cap)
+	}
+	// List-2 recovery: drain one completion, reissue, and verify.
+	if _, err := sys.Wait(handles[0]); err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.QueryAsync(tb, keys[0])
+	if err != nil {
+		t.Fatalf("reissue after drain: %v", err)
+	}
+	if res, err := sys.Wait(h); err != nil || !res.Found {
+		t.Fatalf("drained reissue: %+v, %v", res, err)
+	}
+}
+
+func TestQueryBatch(t *testing.T) {
+	sys := NewSystem(CHATLB)
+	keys, vals := testKeys(200, 16, 13)
+	tb := sys.MustBuildCuckoo(keys, vals)
+
+	// Batch twice the QST capacity so the window logic has to recycle
+	// entries.
+	n := 2 * sys.QSTCapacity()
+	if n > len(keys) {
+		n = len(keys)
+	}
+	results, err := sys.QueryBatch(tb, keys[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != n {
+		t.Fatalf("%d results for %d keys", len(results), n)
+	}
+	for i, r := range results {
+		if !r.Found || r.Value != vals[i] {
+			t.Fatalf("batch result %d: %+v want %d", i, r, vals[i])
+		}
+	}
+
+	// A missing key reports Found=false, not an error.
+	miss := [][]byte{make([]byte, 16)}
+	res, err := sys.QueryBatch(tb, miss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Found {
+		t.Fatal("absent key reported found")
+	}
+}
+
+func TestQueryBatchWindow(t *testing.T) {
+	sys := NewSystem(CoreIntegrated)
+	keys, vals := testKeys(64, 32, 14)
+	tb, err := sys.BuildSkipList(keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := sys.QueryBatch(tb, keys[:30])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2 := NewSystem(CoreIntegrated)
+	tb2, err := sys2.BuildSkipList(keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := sys2.QueryBatch(tb2, keys[:30], WithWindow(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wide {
+		if wide[i].Value != narrow[i].Value || wide[i].Found != narrow[i].Found {
+			t.Fatalf("window changed result %d: %+v vs %+v", i, wide[i], narrow[i])
+		}
+	}
+	// Window 1 serializes the batch; the clock must end later than the
+	// overlapped run.
+	if sys2.Now() <= sys.Now() {
+		t.Fatalf("serial window finished at %d, overlapped at %d", sys2.Now(), sys.Now())
+	}
+}
+
+func TestNewSystemOptions(t *testing.T) {
+	base := NewSystem(CoreIntegrated)
+	big := NewSystem(CoreIntegrated, WithQSTSize(32))
+	if big.QSTCapacity() <= base.QSTCapacity() {
+		t.Fatalf("WithQSTSize(32): capacity %d not above default %d",
+			big.QSTCapacity(), base.QSTCapacity())
+	}
+
+	traced := NewSystem(CoreIntegrated, WithTracing())
+	keys, vals := testKeys(8, 16, 15)
+	tb := traced.MustBuildCuckoo(keys, vals)
+	if _, err := traced.Query(tb, keys[0]); err != nil {
+		t.Fatal(err)
+	}
+	if doc := traced.ExportTrace(); !strings.Contains(doc, `"cat":"qst"`) {
+		t.Fatalf("WithTracing recorded no spans: %s", doc)
+	}
+
+	// WithSeed steers the mutable skip list's level coins: same seed,
+	// same layout; the structures stay queryable either way.
+	for _, seed := range []int64{1, 42} {
+		s := NewSystem(CoreIntegrated, WithSeed(seed))
+		mt, err := s.BuildMutableSkipList(keys, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mt.Insert([]byte("0123456789abcdef"), 777); err != nil {
+			t.Fatal(err)
+		}
+		res, err := mt.Query([]byte("0123456789abcdef"))
+		if err != nil || !res.Found || res.Value != 777 {
+			t.Fatalf("seed %d: inserted key not found: %+v, %v", seed, res, err)
+		}
+	}
+}
+
+func TestStructKindRoundTrip(t *testing.T) {
+	for _, k := range StructKinds() {
+		got, err := ParseStructKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseStructKind(%q) = %v, %v", k.String(), got, err)
+		}
+		if k.TypeCode() == 0 {
+			t.Fatalf("built-in kind %s has no type code", k)
+		}
+	}
+	if _, err := ParseStructKind("quadtree"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if k, err := ParseStructKind(" Cuckoo "); err != nil || k != KindCuckoo {
+		t.Fatalf("case/space-insensitive parse failed: %v, %v", k, err)
+	}
+	sys := NewSystem(CoreIntegrated)
+	keys, vals := testKeys(8, 16, 16)
+	tb := sys.MustBuildCuckoo(keys, vals)
+	if tb.Kind != KindCuckoo || tb.Name() != "cuckoo" {
+		t.Fatalf("builder kind: %v (%s)", tb.Kind, tb.Name())
+	}
+}

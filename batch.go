@@ -1,0 +1,89 @@
+package qei
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BatchOption configures a QueryBatch call.
+type BatchOption func(*batchConfig)
+
+type batchConfig struct {
+	window int
+}
+
+// WithWindow caps the number of queries QueryBatch keeps outstanding,
+// below the QST capacity — the knob the Fig. 10 tuple-space sweep
+// varies. n <= 0 or n above capacity means the full QST.
+func WithWindow(n int) BatchOption {
+	return func(c *batchConfig) { c.window = n }
+}
+
+// QueryBatch looks up every key in t through non-blocking QUERY_NB
+// issues, keeping up to a QST's worth of queries in flight and running
+// the List-2 poll loop to drain completions — the batch shape of the
+// paper's Fig. 10 evaluation, packaged as one call. Results are
+// returned in key order; per-query faults are reported in Result.Err,
+// and the issue clock ends at the last completion.
+func (s *System) QueryBatch(t Table, keys [][]byte, opts ...BatchOption) ([]Result, error) {
+	cfg := batchConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	window := s.QSTCapacity()
+	if cfg.window > 0 && cfg.window < window {
+		window = cfg.window
+	}
+
+	results := make([]Result, len(keys))
+	type inflight struct {
+		idx int
+		h   AsyncHandle
+	}
+	queue := make([]inflight, 0, window)
+	drain := func() error {
+		q := queue[0]
+		queue = queue[1:]
+		r, err := s.Wait(q.h)
+		if err != nil {
+			return fmt.Errorf("qei: batch query %d: %w", q.idx, err)
+		}
+		results[q.idx] = r
+		return nil
+	}
+
+	for i, k := range keys {
+		if len(queue) >= window {
+			if err := drain(); err != nil {
+				return nil, err
+			}
+		}
+		h, err := s.QueryAsync(t, k)
+		for errors.Is(err, ErrQSTFull) {
+			// Queries outside this batch may occupy QST entries: drain
+			// our oldest completion (or, with none of ours in flight,
+			// spin the clock to the next foreign completion), then
+			// reissue.
+			if len(queue) > 0 {
+				if derr := drain(); derr != nil {
+					return nil, derr
+				}
+			} else if next, ok := s.accel.NextNBDone(s.now); ok {
+				s.now = next
+			} else {
+				break
+			}
+			h, err = s.QueryAsync(t, k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("qei: batch query %d: %w", i, err)
+		}
+		queue = append(queue, inflight{idx: i, h: h})
+	}
+	for len(queue) > 0 {
+		if err := drain(); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -10,6 +10,7 @@ package qei
 // runs are the default.
 
 import (
+	"flag"
 	"fmt"
 	"testing"
 
@@ -17,6 +18,15 @@ import (
 	"qei/internal/scheme"
 	"qei/internal/workload"
 )
+
+// -expworkers picks the worker count for experiment fan-out in the
+// figure benchmarks (0 = GOMAXPROCS, 1 = serial). Output is identical
+// at any setting; only wall-clock changes.
+var expWorkers = flag.Int("expworkers", 0, "experiment worker count (0 = GOMAXPROCS)")
+
+func expOpts() []ExpOption {
+	return []ExpOption{WithParallelism(*expWorkers)}
+}
 
 func benchScale(b *testing.B) Scale {
 	if testing.Short() {
@@ -33,7 +43,7 @@ func logTable(b *testing.B, t TableData) {
 // BenchmarkFig1QueryTimeShare regenerates Fig. 1.
 func BenchmarkFig1QueryTimeShare(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := Fig1QueryTimeShare(benchScale(b))
+		t, err := Fig1QueryTimeShare(benchScale(b), expOpts()...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -66,7 +76,7 @@ func BenchmarkTab2Config(b *testing.B) {
 // BenchmarkFig7Speedup regenerates Fig. 7 (the headline result).
 func BenchmarkFig7Speedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := Fig7Speedup(benchScale(b))
+		t, err := Fig7Speedup(benchScale(b), expOpts()...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -79,7 +89,7 @@ func BenchmarkFig7Speedup(b *testing.B) {
 // BenchmarkFig8LatencySweep regenerates Fig. 8.
 func BenchmarkFig8LatencySweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := Fig8LatencySweep(benchScale(b))
+		t, err := Fig8LatencySweep(benchScale(b), expOpts()...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -92,7 +102,7 @@ func BenchmarkFig8LatencySweep(b *testing.B) {
 // BenchmarkFig9EndToEnd regenerates Fig. 9.
 func BenchmarkFig9EndToEnd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := Fig9EndToEnd(benchScale(b))
+		t, err := Fig9EndToEnd(benchScale(b), expOpts()...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,7 +115,7 @@ func BenchmarkFig9EndToEnd(b *testing.B) {
 // BenchmarkFig10TupleSpace regenerates Fig. 10.
 func BenchmarkFig10TupleSpace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := Fig10TupleSpace(benchScale(b))
+		t, err := Fig10TupleSpace(benchScale(b), expOpts()...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -118,7 +128,7 @@ func BenchmarkFig10TupleSpace(b *testing.B) {
 // BenchmarkFig11InstrReduction regenerates Fig. 11.
 func BenchmarkFig11InstrReduction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := Fig11InstrReduction(benchScale(b))
+		t, err := Fig11InstrReduction(benchScale(b), expOpts()...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -141,7 +151,7 @@ func BenchmarkTab3AreaPower(b *testing.B) {
 // BenchmarkFig12DynamicPower regenerates Fig. 12.
 func BenchmarkFig12DynamicPower(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := Fig12DynamicPower(benchScale(b))
+		t, err := Fig12DynamicPower(benchScale(b), expOpts()...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -154,7 +164,7 @@ func BenchmarkFig12DynamicPower(b *testing.B) {
 // BenchmarkNoCUtilization checks the Sec. V hotspot/bandwidth claim.
 func BenchmarkNoCUtilization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := NoCUtilization(benchScale(b))
+		t, err := NoCUtilization(benchScale(b), expOpts()...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -370,7 +380,7 @@ func BenchmarkAblationIndexStructure(b *testing.B) {
 // Tab. I's Scalability column.
 func BenchmarkScalability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := Scalability(benchScale(b))
+		t, err := Scalability(benchScale(b), expOpts()...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -383,7 +393,7 @@ func BenchmarkScalability(b *testing.B) {
 // BenchmarkTailLatency runs the open-loop latency extension experiment.
 func BenchmarkTailLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := TailLatency(benchScale(b))
+		t, err := TailLatency(benchScale(b), expOpts()...)
 		if err != nil {
 			b.Fatal(err)
 		}

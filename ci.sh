@@ -1,0 +1,21 @@
+#!/bin/sh
+# CI gate: formatting, vet, and the full test suite under the race
+# detector (the parallel experiment runner must be race-clean).
+set -eu
+
+cd "$(dirname "$0")"
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+# The root package's experiment-band tests run minutes of simulation;
+# under the race detector on few cores they outlast go test's default
+# 10m per-package budget, so give them room.
+go test -race -timeout 90m ./...
+
+echo "ci: ok"

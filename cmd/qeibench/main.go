@@ -1,12 +1,16 @@
 // Command qeibench regenerates every table and figure of the paper's
 // evaluation section (see DESIGN.md for the experiment index).
 //
+// Independent experiment points fan out across -parallel workers; the
+// tables are byte-identical at any worker count.
+//
 // Usage:
 //
-//	qeibench [-scale small|full] [-exp all|fig1|tab1|tab2|fig7|fig8|fig9|fig10|fig11|tab3|fig12|noc] [-csv]
+//	qeibench [-scale small|full] [-exp all|fig1|...|noc] [-parallel N] [-csv]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,7 +21,8 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "small", "experiment scale: small or full")
-	expFlag := flag.String("exp", "all", "experiment to run: all, fig1, tab1, tab2, fig7, fig8, fig9, fig10, fig11, tab3, fig12, noc")
+	expFlag := flag.String("exp", "all", "experiment to run: all or one of the registry names (fig1, tab1, ...)")
+	parFlag := flag.Int("parallel", 1, "worker count for experiment jobs; 0 = GOMAXPROCS")
 	csvFlag := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	flag.Parse()
 
@@ -31,37 +36,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	type experiment struct {
-		name string
-		run  func() (qei.TableData, error)
-	}
-	experiments := []experiment{
-		{"fig1", func() (qei.TableData, error) { return qei.Fig1QueryTimeShare(scale) }},
-		{"tab1", func() (qei.TableData, error) { return qei.TabI(), nil }},
-		{"tab2", func() (qei.TableData, error) { return qei.TabII(), nil }},
-		{"fig7", func() (qei.TableData, error) { return qei.Fig7Speedup(scale) }},
-		{"fig8", func() (qei.TableData, error) { return qei.Fig8LatencySweep(scale) }},
-		{"fig9", func() (qei.TableData, error) { return qei.Fig9EndToEnd(scale) }},
-		{"fig10", func() (qei.TableData, error) { return qei.Fig10TupleSpace(scale) }},
-		{"fig11", func() (qei.TableData, error) { return qei.Fig11InstrReduction(scale) }},
-		{"tab3", func() (qei.TableData, error) { return qei.TabIII(), nil }},
-		{"fig12", func() (qei.TableData, error) { return qei.Fig12DynamicPower(scale) }},
-		{"noc", func() (qei.TableData, error) { return qei.NoCUtilization(scale) }},
-	}
-
+	ctx := context.Background()
 	want := strings.ToLower(*expFlag)
 	ran := 0
-	for _, e := range experiments {
-		if want != "all" && want != e.name {
+	for _, e := range qei.Experiments() {
+		if want != "all" && want != e.Name {
 			continue
 		}
-		t, err := e.run()
+		t, err := e.Run(scale, qei.WithContext(ctx), qei.WithParallelism(*parFlag))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "qeibench: %s: %v\n", e.name, err)
+			fmt.Fprintf(os.Stderr, "qeibench: %s: %v\n", e.Name, err)
 			os.Exit(1)
 		}
 		if *csvFlag {
-			fmt.Printf("# %s\n%s\n", e.name, t.CSV())
+			fmt.Printf("# %s\n%s\n", e.Name, t.CSV())
 		} else {
 			fmt.Println(t.String())
 		}

@@ -1,19 +1,23 @@
 // Command qeiprof reproduces the Fig. 1 profiling study: for each cloud
 // workload it reports how much of the CPU time goes to data-query
 // operations, plus a frontend/backend characterization of the query code
-// (the paper's VTune top-down observations from Sec. II-A).
+// (the paper's VTune top-down observations from Sec. II-A). Workloads
+// profile in parallel across -parallel workers; output order is fixed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"qei/internal/runner"
 	"qei/internal/workload"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "small", "scale: small or full")
+	parFlag := flag.Int("parallel", 1, "worker count; 0 = GOMAXPROCS")
 	flag.Parse()
 
 	var benches []workload.Benchmark
@@ -23,25 +27,32 @@ func main() {
 		benches = workload.AllSmall()
 	}
 
+	lines, err := runner.Map(context.Background(), *parFlag, benches,
+		func(_ context.Context, _ int, b workload.Benchmark) (string, error) {
+			share, err := workload.ROIShare(b)
+			if err != nil {
+				return "", fmt.Errorf("%s: %w", b.Name(), err)
+			}
+			roi, err := workload.RunBaseline(b, workload.ROIOnly)
+			if err != nil {
+				return "", fmt.Errorf("%s: %w", b.Name(), err)
+			}
+			q := float64(roi.Queries)
+			return fmt.Sprintf("%-10s %10.1f%% %14.2f %14.1f %12.2f",
+				b.Name(), share*100,
+				float64(roi.Core.Mispredicts)/q,
+				float64(roi.Core.Loads)/q,
+				roi.Core.IPC()), nil
+		})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qeiprof: %v\n", err)
+		os.Exit(1)
+	}
+
 	fmt.Printf("%-10s %-12s %-14s %-14s %-12s\n",
 		"workload", "query_share", "mispredicts/q", "loads/query", "IPC(ROI)")
-	for _, b := range benches {
-		share, err := workload.ROIShare(b)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "qeiprof: %s: %v\n", b.Name(), err)
-			os.Exit(1)
-		}
-		roi, err := workload.RunBaseline(b, workload.ROIOnly)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "qeiprof: %s: %v\n", b.Name(), err)
-			os.Exit(1)
-		}
-		q := float64(roi.Queries)
-		fmt.Printf("%-10s %10.1f%% %14.2f %14.1f %12.2f\n",
-			b.Name(), share*100,
-			float64(roi.Core.Mispredicts)/q,
-			float64(roi.Core.Loads)/q,
-			roi.Core.IPC())
+	for _, l := range lines {
+		fmt.Println(l)
 	}
 	fmt.Println("\npaper band (Fig. 1): query operations take 23%-44% of CPU time")
 }

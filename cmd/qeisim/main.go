@@ -5,27 +5,34 @@
 // Usage:
 //
 //	qeisim -workload dpdk|jvm|rocksdb|snort|flann|tuple5|tuple10|tuple15 \
-//	       -scheme software|core|cha-tlb|cha-notlb|device-direct|device-indirect \
-//	       [-mode full|roi|nonroi] [-nb] [-scale small|full] [-warm]
+//	       -scheme software|core|cha-tlb|cha-notlb|device-direct|device-indirect|all \
+//	       [-mode full|roi|nonroi] [-nb] [-scale small|full] [-warm] [-parallel N]
+//
+// -scheme all runs the software baseline plus every integration scheme
+// and prints a side-by-side comparison, fanning the runs across
+// -parallel workers.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"qei/internal/runner"
 	"qei/internal/scheme"
 	"qei/internal/workload"
 )
 
 func main() {
 	wlFlag := flag.String("workload", "dpdk", "workload: dpdk, jvm, rocksdb, snort, flann, tuple5, tuple10, tuple15")
-	schemeFlag := flag.String("scheme", "core", "scheme: software, core, cha-tlb, cha-notlb, device-direct, device-indirect")
+	schemeFlag := flag.String("scheme", "core", "scheme: software, core, cha-tlb, cha-notlb, device-direct, device-indirect, all")
 	modeFlag := flag.String("mode", "full", "mode: full, roi, nonroi")
 	nbFlag := flag.Bool("nb", false, "use non-blocking QUERY_NB (batch 32)")
 	scaleFlag := flag.String("scale", "small", "scale: small or full")
 	warmFlag := flag.Bool("warm", true, "run a warmup pass before measuring")
 	coresFlag := flag.Int("cores", 1, "issue the query stream from this many cores (scalability mode)")
+	parFlag := flag.Int("parallel", 0, "workers for -scheme all; 0 = GOMAXPROCS")
 	flag.Parse()
 
 	full := *scaleFlag == "full"
@@ -71,6 +78,10 @@ func main() {
 		runMultiCore(bench, *schemeFlag, *coresFlag)
 		return
 	}
+	if *schemeFlag == "all" {
+		runAllSchemes(bench, mode, *nbFlag, *parFlag, opts)
+		return
+	}
 
 	var run workload.Run
 	var err error
@@ -78,19 +89,8 @@ func main() {
 	case "software":
 		run, err = workload.RunBaseline(bench, mode, opts...)
 	default:
-		var k scheme.Kind
-		switch *schemeFlag {
-		case "core":
-			k = scheme.CoreIntegrated
-		case "cha-tlb":
-			k = scheme.CHATLB
-		case "cha-notlb":
-			k = scheme.CHANoTLB
-		case "device-direct":
-			k = scheme.DeviceDirect
-		case "device-indirect":
-			k = scheme.DeviceIndirect
-		default:
+		k, ok := parseKind(*schemeFlag)
+		if !ok {
 			fail("unknown scheme %q", *schemeFlag)
 		}
 		if *nbFlag {
@@ -127,20 +127,72 @@ func main() {
 	}
 }
 
-func runMultiCore(bench workload.Benchmark, schemeName string, cores int) {
-	var k scheme.Kind
-	switch schemeName {
+func parseKind(name string) (scheme.Kind, bool) {
+	switch name {
 	case "core":
-		k = scheme.CoreIntegrated
+		return scheme.CoreIntegrated, true
 	case "cha-tlb":
-		k = scheme.CHATLB
+		return scheme.CHATLB, true
 	case "cha-notlb":
-		k = scheme.CHANoTLB
+		return scheme.CHANoTLB, true
 	case "device-direct":
-		k = scheme.DeviceDirect
+		return scheme.DeviceDirect, true
 	case "device-indirect":
-		k = scheme.DeviceIndirect
-	default:
+		return scheme.DeviceIndirect, true
+	}
+	return 0, false
+}
+
+// runAllSchemes fans the software baseline and every integration scheme
+// across the worker pool and prints a side-by-side comparison; results
+// are collected in a fixed order, so the table is deterministic.
+func runAllSchemes(bench workload.Benchmark, mode workload.Mode, nb bool, par int, opts []workload.RunOption) {
+	type job struct {
+		name string
+		kind scheme.Kind
+		sw   bool
+	}
+	jobs := []job{{name: "software", sw: true}}
+	for _, k := range scheme.Kinds() {
+		jobs = append(jobs, job{name: k.String(), kind: k})
+	}
+	runs, err := runner.Map(context.Background(), par, jobs,
+		func(_ context.Context, _ int, j job) (workload.Run, error) {
+			if j.sw {
+				return workload.RunBaseline(bench, mode, opts...)
+			}
+			if nb {
+				return workload.RunQEINonBlocking(bench, j.kind, 32, opts...)
+			}
+			return workload.RunQEI(bench, j.kind, mode, opts...)
+		})
+	if err != nil {
+		fail("run failed: %v", err)
+	}
+	base := runs[0]
+	fmt.Printf("workload %s — %d queries\n", bench.Name(), base.Queries)
+	fmt.Printf("%-16s %14s %10s %10s %12s\n", "scheme", "cycles", "cyc/query", "speedup_x", "mismatches")
+	bad := false
+	for i, r := range runs {
+		sp := float64(base.Cycles) / float64(r.Cycles)
+		q := r.Queries
+		if q < 1 {
+			q = 1
+		}
+		fmt.Printf("%-16s %14d %10.1f %10.2f %12d\n",
+			jobs[i].name, r.Cycles, float64(r.Cycles)/float64(q), sp, r.Mismatches)
+		if r.Mismatches != 0 {
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func runMultiCore(bench workload.Benchmark, schemeName string, cores int) {
+	k, ok := parseKind(schemeName)
+	if !ok {
 		fail("multi-core mode needs an accelerator scheme, got %q", schemeName)
 	}
 	r, err := workload.RunMultiCore(bench, k, cores)

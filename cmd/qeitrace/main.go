@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	qeitrace [-queries 64] [-scheme core|cha-tlb|...] [-o trace.json]
+//	qeitrace [-queries 64] [-scheme core|cha-tlb|...] [-table skiplist|cuckoo|...] [-o trace.json]
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 func main() {
 	nFlag := flag.Int("queries", 64, "queries to trace")
 	schemeFlag := flag.String("scheme", "core", "integration scheme")
+	tableFlag := flag.String("table", "skiplist", "structure to trace: skiplist, cuckoo, hashtable, bst, btree, linkedlist")
 	outFlag := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -40,7 +41,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	sys := qei.NewSystem(sch)
+	kind, err := qei.ParseStructKind(*tableFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qeitrace: %v\n", err)
+		os.Exit(2)
+	}
+
+	sys := qei.NewSystem(sch, qei.WithTracing())
 	rng := rand.New(rand.NewSource(1))
 	keys := make([][]byte, 2048)
 	vals := make([]uint64, len(keys))
@@ -49,29 +56,38 @@ func main() {
 		rng.Read(keys[i])
 		vals[i] = uint64(i) + 1
 	}
-	table, err := sys.BuildSkipList(keys, vals)
+	var table qei.Table
+	switch kind {
+	case qei.KindSkipList:
+		table, err = sys.BuildSkipList(keys, vals)
+	case qei.KindCuckoo:
+		table, err = sys.BuildCuckoo(keys, vals)
+	case qei.KindHashTable:
+		table, err = sys.BuildHashTable(keys, vals)
+	case qei.KindBST:
+		table, err = sys.BuildBST(keys, vals, 0)
+	case qei.KindBTree:
+		table, err = sys.BuildBTree(keys, vals)
+	case qei.KindLinkedList:
+		table, err = sys.BuildLinkedList(keys, vals)
+	default:
+		fmt.Fprintf(os.Stderr, "qeitrace: cannot trace a %s table\n", kind)
+		os.Exit(2)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qeitrace: %v\n", err)
 		os.Exit(1)
 	}
 
-	sys.EnableTracing()
-	// Issue everything at the same cycle so the QST fills and the viewer
-	// shows the ten-deep overlap.
-	handles := make([]qei.AsyncHandle, 0, *nFlag)
-	for i := 0; i < *nFlag; i++ {
-		h, err := sys.QueryAsync(table, keys[rng.Intn(len(keys))])
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "qeitrace: %v\n", err)
-			os.Exit(1)
-		}
-		handles = append(handles, h)
+	// QueryBatch keeps a full QST's worth of queries in flight, so the
+	// viewer shows the QST-deep overlap.
+	probes := make([][]byte, *nFlag)
+	for i := range probes {
+		probes[i] = keys[rng.Intn(len(keys))]
 	}
-	for _, h := range handles {
-		if _, err := sys.Wait(h); err != nil {
-			fmt.Fprintf(os.Stderr, "qeitrace: %v\n", err)
-			os.Exit(1)
-		}
+	if _, err := sys.QueryBatch(table, probes); err != nil {
+		fmt.Fprintf(os.Stderr, "qeitrace: %v\n", err)
+		os.Exit(1)
 	}
 
 	doc := sys.ExportTrace()

@@ -1,0 +1,26 @@
+package qei
+
+import (
+	"errors"
+
+	"qei/internal/qei"
+)
+
+// Sentinel errors of the async query lifecycle. Callers branch with
+// errors.Is; every error carrying per-query context wraps one of these.
+var (
+	// ErrQSTFull is returned by QueryAsync when every QST entry is
+	// occupied: drain a completion with Wait (or use QueryBatch, which
+	// handles the bound internally) and reissue.
+	ErrQSTFull = qei.ErrQSTFull
+	// ErrAborted is returned by Wait and Poll for a query flushed by
+	// Interrupt before completing; reissue it (Sec. IV-D).
+	ErrAborted = qei.ErrAborted
+	// ErrResultPending is returned by Wait and Poll while the completion
+	// flag has not been written yet — the List-2 poll loop's "not done"
+	// arm.
+	ErrResultPending = errors.New("qei: async result not yet written")
+	// ErrUnknownHandle is returned by Wait and Poll for a handle this
+	// system never issued.
+	ErrUnknownHandle = errors.New("qei: unknown async handle")
+)

@@ -74,7 +74,7 @@ func main() {
 	// accelerator transitions the query to its EXCEPTION state and
 	// reports the fault to software through the result queue; the
 	// process is not killed and the store keeps serving.
-	bad := qei.Table{Kind: "skiplist", KeyLen: 100}
+	bad := qei.Table{Kind: qei.KindSkipList, KeyLen: 100}
 	_ = bad // a zero Table has a NULL header — query it via a corrupt copy
 	res, err := sys.Query(qei.Table{}, keys[0])
 	if err == nil && res.Err == nil {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -65,29 +66,48 @@ func main() {
 			burst[i] = packet{header: flows[t][k], owner: t, idx: k}
 		}
 
-		// Issue all probes of the burst non-blocking: burst x tuples
-		// queries in flight.
+		// Issue the burst's probes non-blocking, up to the QST bound.
+		// burst x tuples exceeds the QST, so the issue loop runs List 2's
+		// drain-and-reissue: on ErrQSTFull, retire the oldest outstanding
+		// probe and retry.
+		type probe struct{ pkt, tup int }
 		handles := make([][]qei.AsyncHandle, len(burst))
+		results := make([][]qei.Result, len(burst))
+		var fifo []probe
+		drain := func() {
+			pr := fifo[0]
+			fifo = fifo[1:]
+			r, err := sys.Wait(handles[pr.pkt][pr.tup])
+			if err != nil {
+				panic(err)
+			}
+			results[pr.pkt][pr.tup] = r
+		}
 		for i, p := range burst {
 			handles[i] = make([]qei.AsyncHandle, tuples)
+			results[i] = make([]qei.Result, tuples)
 			for t := 0; t < tuples; t++ {
 				h, err := sys.QueryAsync(tables[t], p.header)
+				for errors.Is(err, qei.ErrQSTFull) {
+					drain()
+					h, err = sys.QueryAsync(tables[t], p.header)
+				}
 				if err != nil {
 					panic(err)
 				}
 				handles[i][t] = h
+				fifo = append(fifo, probe{i, t})
 			}
 		}
+		for len(fifo) > 0 {
+			drain()
+		}
 
-		// Poll results and pick each packet's action.
+		// Pick each packet's action from the retired probes.
 		for i, p := range burst {
 			var matched uint64
 			for t := 0; t < tuples; t++ {
-				r, err := sys.Wait(handles[i][t])
-				if err != nil {
-					panic(err)
-				}
-				if r.Found {
+				if r := results[i][t]; r.Found {
 					if t != p.owner {
 						panic("matched in the wrong tuple table")
 					}

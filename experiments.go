@@ -1,6 +1,7 @@
 package qei
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -65,19 +66,21 @@ func f(format string, v ...any) string { return fmt.Sprintf(format, v...) }
 
 // Fig1QueryTimeShare reproduces Fig. 1: the percentage of CPU time spent
 // in data-query operations for each workload (paper band: 23%–44%).
-func Fig1QueryTimeShare(s Scale) (TableData, error) {
+func Fig1QueryTimeShare(s Scale, opts ...ExpOption) (TableData, error) {
 	t := TableData{
 		Title:   "Fig. 1 — query share of CPU time (paper: 23%-44%)",
 		Headers: []string{"workload", "query_share_pct"},
 	}
-	for _, b := range benchesFor(s) {
-		share, err := workload.ROIShare(b)
-		if err != nil {
-			return t, err
-		}
-		t.Rows = append(t.Rows, []string{b.Name(), f("%.1f", share*100)})
-	}
-	return t, nil
+	rows, err := expRows(expConfigFor(opts), benchesFor(s),
+		func(_ context.Context, _ int, b workload.Benchmark) ([][]string, error) {
+			share, err := workload.ROIShare(b)
+			if err != nil {
+				return nil, err
+			}
+			return [][]string{{b.Name(), f("%.1f", share*100)}}, nil
+		})
+	t.Rows = rows
+	return t, err
 }
 
 // TabI reproduces Table I: the qualitative comparison of integration
@@ -130,64 +133,72 @@ func roiCycles(full, nonROI uint64) uint64 {
 
 // Fig7Speedup reproduces Fig. 7: per-workload lookup speedup of every
 // integration scheme over the software baseline.
-func Fig7Speedup(s Scale) (TableData, error) {
+func Fig7Speedup(s Scale, opts ...ExpOption) (TableData, error) {
 	t := TableData{
 		Title:   "Fig. 7 — speedup of lookup operations (paper: 6.5x-11.2x, CHA-TLB up to 12.7x)",
 		Headers: []string{"workload", "scheme", "speedup_x"},
 	}
-	for _, b := range benchesFor(s) {
-		sw, err := workload.RunBaseline(b, workload.Full, workload.WithWarmup())
-		if err != nil {
-			return t, err
-		}
-		non, err := workload.RunBaseline(b, workload.NonROIOnly, workload.WithWarmup())
-		if err != nil {
-			return t, err
-		}
-		swROI := roiCycles(sw.Cycles, non.Cycles)
-		for _, k := range scheme.Kinds() {
-			hw, err := workload.RunQEI(b, k, workload.Full, workload.WithWarmup())
+	rows, err := expRows(expConfigFor(opts), benchesFor(s),
+		func(_ context.Context, _ int, b workload.Benchmark) ([][]string, error) {
+			sw, err := workload.RunBaseline(b, workload.Full, workload.WithWarmup())
 			if err != nil {
-				return t, err
+				return nil, err
 			}
-			if hw.Mismatches != 0 {
-				return t, fmt.Errorf("qei: %s/%s produced %d wrong results", b.Name(), k, hw.Mismatches)
+			non, err := workload.RunBaseline(b, workload.NonROIOnly, workload.WithWarmup())
+			if err != nil {
+				return nil, err
 			}
-			sp := float64(swROI) / float64(roiCycles(hw.Cycles, non.Cycles))
-			t.Rows = append(t.Rows, []string{b.Name(), k.String(), f("%.2f", sp)})
-		}
-	}
-	return t, nil
+			swROI := roiCycles(sw.Cycles, non.Cycles)
+			var rows [][]string
+			for _, k := range scheme.Kinds() {
+				hw, err := workload.RunQEI(b, k, workload.Full, workload.WithWarmup())
+				if err != nil {
+					return nil, err
+				}
+				if hw.Mismatches != 0 {
+					return nil, fmt.Errorf("qei: %s/%s produced %d wrong results", b.Name(), k, hw.Mismatches)
+				}
+				sp := float64(swROI) / float64(roiCycles(hw.Cycles, non.Cycles))
+				rows = append(rows, []string{b.Name(), k.String(), f("%.2f", sp)})
+			}
+			return rows, nil
+		})
+	t.Rows = rows
+	return t, err
 }
 
 // Fig8LatencySweep reproduces Fig. 8: the Device-indirect scheme's
 // sensitivity to the accelerator's data-access latency (50–2000 cycles).
-func Fig8LatencySweep(s Scale) (TableData, error) {
+func Fig8LatencySweep(s Scale, opts ...ExpOption) (TableData, error) {
 	t := TableData{
 		Title:   "Fig. 8 — Device-indirect latency sensitivity",
 		Headers: []string{"workload", "access_latency_cyc", "speedup_x"},
 	}
 	latencies := []uint64{50, 100, 300, 600, 1000, 2000}
-	for _, b := range benchesFor(s) {
-		sw, err := workload.RunBaseline(b, workload.Full, workload.WithWarmup())
-		if err != nil {
-			return t, err
-		}
-		non, err := workload.RunBaseline(b, workload.NonROIOnly, workload.WithWarmup())
-		if err != nil {
-			return t, err
-		}
-		swROI := roiCycles(sw.Cycles, non.Cycles)
-		for _, lat := range latencies {
-			hw, err := workload.RunQEIWithParams(b, deviceIndirectWith(lat), workload.Full, workload.WithWarmup())
+	rows, err := expRows(expConfigFor(opts), benchesFor(s),
+		func(_ context.Context, _ int, b workload.Benchmark) ([][]string, error) {
+			sw, err := workload.RunBaseline(b, workload.Full, workload.WithWarmup())
 			if err != nil {
-				return t, err
+				return nil, err
 			}
-			sp := float64(swROI) / float64(roiCycles(hw.Cycles, non.Cycles))
-			t.Rows = append(t.Rows, []string{b.Name(), f("%d", lat), f("%.2f", sp)})
-		}
-	}
-	return t, nil
+			non, err := workload.RunBaseline(b, workload.NonROIOnly, workload.WithWarmup())
+			if err != nil {
+				return nil, err
+			}
+			swROI := roiCycles(sw.Cycles, non.Cycles)
+			var rows [][]string
+			for _, lat := range latencies {
+				hw, err := workload.RunQEIWithParams(b, deviceIndirectWith(lat), workload.Full, workload.WithWarmup())
+				if err != nil {
+					return nil, err
+				}
+				sp := float64(swROI) / float64(roiCycles(hw.Cycles, non.Cycles))
+				rows = append(rows, []string{b.Name(), f("%d", lat), f("%.2f", sp)})
+			}
+			return rows, nil
+		})
+	t.Rows = rows
+	return t, err
 }
 
 func deviceIndirectWith(lat uint64) scheme.Params {
@@ -198,86 +209,96 @@ func deviceIndirectWith(lat uint64) scheme.Params {
 
 // Fig9EndToEnd reproduces Fig. 9: end-to-end query/packet-per-second
 // improvement of the full applications (paper: 36.2%–66.7%).
-func Fig9EndToEnd(s Scale) (TableData, error) {
+func Fig9EndToEnd(s Scale, opts ...ExpOption) (TableData, error) {
 	t := TableData{
 		Title:   "Fig. 9 — end-to-end throughput improvement (paper: 36.2%-66.7%)",
 		Headers: []string{"workload", "scheme", "improvement_pct"},
 	}
-	for _, b := range benchesFor(s) {
-		sw, err := workload.RunBaseline(b, workload.Full, workload.WithWarmup())
-		if err != nil {
-			return t, err
-		}
-		for _, k := range []scheme.Kind{scheme.CHATLB, scheme.CHANoTLB, scheme.CoreIntegrated} {
-			hw, err := workload.RunQEI(b, k, workload.Full, workload.WithWarmup())
+	rows, err := expRows(expConfigFor(opts), benchesFor(s),
+		func(_ context.Context, _ int, b workload.Benchmark) ([][]string, error) {
+			sw, err := workload.RunBaseline(b, workload.Full, workload.WithWarmup())
 			if err != nil {
-				return t, err
+				return nil, err
 			}
-			imp := (float64(sw.Cycles)/float64(hw.Cycles) - 1) * 100
-			t.Rows = append(t.Rows, []string{b.Name(), k.String(), f("%.1f", imp)})
-		}
-	}
-	return t, nil
+			var rows [][]string
+			for _, k := range []scheme.Kind{scheme.CHATLB, scheme.CHANoTLB, scheme.CoreIntegrated} {
+				hw, err := workload.RunQEI(b, k, workload.Full, workload.WithWarmup())
+				if err != nil {
+					return nil, err
+				}
+				imp := (float64(sw.Cycles)/float64(hw.Cycles) - 1) * 100
+				rows = append(rows, []string{b.Name(), k.String(), f("%.1f", imp)})
+			}
+			return rows, nil
+		})
+	t.Rows = rows
+	return t, err
 }
 
 // Fig10TupleSpace reproduces Fig. 10: tuple-space search with QUERY_NB
 // over 5/10/15 tuples, per scheme.
-func Fig10TupleSpace(s Scale) (TableData, error) {
+func Fig10TupleSpace(s Scale, opts ...ExpOption) (TableData, error) {
 	t := TableData{
 		Title:   "Fig. 10 — tuple-space search speedup with QUERY_NB",
 		Headers: []string{"tuples", "scheme", "speedup_x"},
 	}
-	for _, tuples := range []int{5, 10, 15} {
-		var b workload.Benchmark
-		if s == FullScale {
-			b = workload.DefaultTupleSpace(tuples)
-		} else {
-			b = workload.SmallTupleSpace(tuples)
-		}
-		sw, err := workload.RunBaseline(b, workload.Full, workload.WithWarmup())
-		if err != nil {
-			return t, err
-		}
-		for _, k := range scheme.Kinds() {
-			hw, err := workload.RunQEINonBlocking(b, k, 32, workload.WithWarmup())
+	rows, err := expRows(expConfigFor(opts), []int{5, 10, 15},
+		func(_ context.Context, _ int, tuples int) ([][]string, error) {
+			var b workload.Benchmark
+			if s == FullScale {
+				b = workload.DefaultTupleSpace(tuples)
+			} else {
+				b = workload.SmallTupleSpace(tuples)
+			}
+			sw, err := workload.RunBaseline(b, workload.Full, workload.WithWarmup())
 			if err != nil {
-				return t, err
+				return nil, err
 			}
-			if hw.Mismatches != 0 {
-				return t, fmt.Errorf("qei: tuple-%d/%s produced %d wrong results", tuples, k, hw.Mismatches)
+			var rows [][]string
+			for _, k := range scheme.Kinds() {
+				hw, err := workload.RunQEINonBlocking(b, k, 32, workload.WithWarmup())
+				if err != nil {
+					return nil, err
+				}
+				if hw.Mismatches != 0 {
+					return nil, fmt.Errorf("qei: tuple-%d/%s produced %d wrong results", tuples, k, hw.Mismatches)
+				}
+				sp := float64(sw.Cycles) / float64(hw.Cycles)
+				rows = append(rows, []string{f("%d", tuples), k.String(), f("%.2f", sp)})
 			}
-			sp := float64(sw.Cycles) / float64(hw.Cycles)
-			t.Rows = append(t.Rows, []string{f("%d", tuples), k.String(), f("%.2f", sp)})
-		}
-	}
-	return t, nil
+			return rows, nil
+		})
+	t.Rows = rows
+	return t, err
 }
 
 // Fig11InstrReduction reproduces Fig. 11: dynamic instructions executed
 // by the core in the ROI, software vs QEI.
-func Fig11InstrReduction(s Scale) (TableData, error) {
+func Fig11InstrReduction(s Scale, opts ...ExpOption) (TableData, error) {
 	t := TableData{
 		Title:   "Fig. 11 — dynamic instruction count in ROIs",
 		Headers: []string{"workload", "software_instrs", "qei_instrs", "reduction_pct"},
 	}
-	for _, b := range benchesFor(s) {
-		sw, err := workload.RunBaseline(b, workload.ROIOnly)
-		if err != nil {
-			return t, err
-		}
-		hw, err := workload.RunQEI(b, scheme.CoreIntegrated, workload.ROIOnly)
-		if err != nil {
-			return t, err
-		}
-		red := (1 - float64(hw.Core.Instructions)/float64(sw.Core.Instructions)) * 100
-		t.Rows = append(t.Rows, []string{
-			b.Name(),
-			f("%d", sw.Core.Instructions),
-			f("%d", hw.Core.Instructions),
-			f("%.1f", red),
+	rows, err := expRows(expConfigFor(opts), benchesFor(s),
+		func(_ context.Context, _ int, b workload.Benchmark) ([][]string, error) {
+			sw, err := workload.RunBaseline(b, workload.ROIOnly)
+			if err != nil {
+				return nil, err
+			}
+			hw, err := workload.RunQEI(b, scheme.CoreIntegrated, workload.ROIOnly)
+			if err != nil {
+				return nil, err
+			}
+			red := (1 - float64(hw.Core.Instructions)/float64(sw.Core.Instructions)) * 100
+			return [][]string{{
+				b.Name(),
+				f("%d", sw.Core.Instructions),
+				f("%d", hw.Core.Instructions),
+				f("%.1f", red),
+			}}, nil
 		})
-	}
-	return t, nil
+	t.Rows = rows
+	return t, err
 }
 
 // TabIII reproduces Table III: area and static power of the three QEI
@@ -299,59 +320,63 @@ func TabIII() TableData {
 
 // Fig12DynamicPower reproduces Fig. 12: QEI's per-query dynamic energy
 // relative to the software baseline (paper: >60% reduction).
-func Fig12DynamicPower(s Scale) (TableData, error) {
+func Fig12DynamicPower(s Scale, opts ...ExpOption) (TableData, error) {
 	t := TableData{
 		Title:   "Fig. 12 — QEI dynamic energy per query vs software (paper: <40%)",
 		Headers: []string{"workload", "scheme", "energy_pct_of_software"},
 	}
 	model := power.Default()
-	for _, b := range benchesFor(s) {
-		sw, err := workload.RunBaseline(b, workload.ROIOnly, workload.WithWarmup())
-		if err != nil {
-			return t, err
-		}
-		swE := model.DynamicEnergyNJ(power.Activity{
-			Instructions: sw.Core.Instructions,
-			Mispredicts:  sw.Core.Mispredicts,
-			L1Accesses:   sw.L1Accesses,
-			L2Accesses:   sw.L2Accesses,
-			LLCAccesses:  sw.LLCAccesses,
-			DRAMAccesses: sw.DRAMAccesses,
-			NoCBytes:     sw.NoCBytes,
-			TLBLookups:   sw.TLBLookups,
-			PageWalks:    sw.PageWalks,
-		}) / float64(sw.Queries)
-		for _, k := range []scheme.Kind{scheme.CHATLB, scheme.CHANoTLB, scheme.DeviceDirect, scheme.DeviceIndirect, scheme.CoreIntegrated} {
-			hw, err := workload.RunQEI(b, k, workload.ROIOnly, workload.WithWarmup())
+	rows, err := expRows(expConfigFor(opts), benchesFor(s),
+		func(_ context.Context, _ int, b workload.Benchmark) ([][]string, error) {
+			sw, err := workload.RunBaseline(b, workload.ROIOnly, workload.WithWarmup())
 			if err != nil {
-				return t, err
+				return nil, err
 			}
-			// Lines streamed by CHA comparators are cheaper than full
-			// LLC accesses; split them out of the LLC count.
-			cmpLines := hw.Accel.CompareBytes / 64
-			llc := hw.LLCAccesses
-			if cmpLines > llc {
-				cmpLines = llc
+			swE := model.DynamicEnergyNJ(power.Activity{
+				Instructions: sw.Core.Instructions,
+				Mispredicts:  sw.Core.Mispredicts,
+				L1Accesses:   sw.L1Accesses,
+				L2Accesses:   sw.L2Accesses,
+				LLCAccesses:  sw.LLCAccesses,
+				DRAMAccesses: sw.DRAMAccesses,
+				NoCBytes:     sw.NoCBytes,
+				TLBLookups:   sw.TLBLookups,
+				PageWalks:    sw.PageWalks,
+			}) / float64(sw.Queries)
+			var rows [][]string
+			for _, k := range []scheme.Kind{scheme.CHATLB, scheme.CHANoTLB, scheme.DeviceDirect, scheme.DeviceIndirect, scheme.CoreIntegrated} {
+				hw, err := workload.RunQEI(b, k, workload.ROIOnly, workload.WithWarmup())
+				if err != nil {
+					return nil, err
+				}
+				// Lines streamed by CHA comparators are cheaper than full
+				// LLC accesses; split them out of the LLC count.
+				cmpLines := hw.Accel.CompareBytes / 64
+				llc := hw.LLCAccesses
+				if cmpLines > llc {
+					cmpLines = llc
+				}
+				hwE := model.DynamicEnergyNJ(power.Activity{
+					Instructions:        hw.Core.Instructions,
+					Mispredicts:         hw.Core.Mispredicts,
+					Transitions:         hw.Accel.Transitions,
+					Compare8Bs:          (hw.Accel.CompareBytes + 7) / 8,
+					ComparatorLineReads: cmpLines,
+					Hash8Bs:             hw.Accel.HashOps * 2,
+					L1Accesses:          hw.L1Accesses,
+					L2Accesses:          hw.L2Accesses,
+					LLCAccesses:         llc - cmpLines,
+					DRAMAccesses:        hw.DRAMAccesses,
+					NoCBytes:            hw.NoCBytes,
+					TLBLookups:          hw.TLBLookups,
+					PageWalks:           hw.PageWalks,
+				}) / float64(hw.Queries)
+				rows = append(rows, []string{b.Name(), k.String(), f("%.1f", hwE/swE*100)})
 			}
-			hwE := model.DynamicEnergyNJ(power.Activity{
-				Instructions:        hw.Core.Instructions,
-				Mispredicts:         hw.Core.Mispredicts,
-				Transitions:         hw.Accel.Transitions,
-				Compare8Bs:          (hw.Accel.CompareBytes + 7) / 8,
-				ComparatorLineReads: cmpLines,
-				Hash8Bs:             hw.Accel.HashOps * 2,
-				L1Accesses:          hw.L1Accesses,
-				L2Accesses:          hw.L2Accesses,
-				LLCAccesses:         llc - cmpLines,
-				DRAMAccesses:        hw.DRAMAccesses,
-				NoCBytes:            hw.NoCBytes,
-				TLBLookups:          hw.TLBLookups,
-				PageWalks:           hw.PageWalks,
-			}) / float64(hw.Queries)
-			t.Rows = append(t.Rows, []string{b.Name(), k.String(), f("%.1f", hwE/swE*100)})
-		}
-	}
-	return t, nil
+			return rows, nil
+		})
+	t.Rows = rows
+	return t, err
 }
 
 // TailLatency runs the open-loop latency study (an extension of the
@@ -359,7 +384,7 @@ func Fig12DynamicPower(s Scale) (TableData, error) {
 // per-query latency percentiles are recorded. Device schemes show their
 // long access latency directly in the distribution; overload pushes the
 // tail out for every scheme.
-func TailLatency(s Scale) (TableData, error) {
+func TailLatency(s Scale, opts ...ExpOption) (TableData, error) {
 	t := TableData{
 		Title:   "Extension — open-loop query latency (cycles)",
 		Headers: []string{"scheme", "interarrival", "avg", "p50", "p95", "p99"},
@@ -370,26 +395,36 @@ func TailLatency(s Scale) (TableData, error) {
 		b = workload.DefaultDPDK()
 		queries = 1000
 	}
+	type point struct {
+		k   scheme.Kind
+		gap uint64
+	}
+	var points []point
 	for _, k := range []scheme.Kind{scheme.CoreIntegrated, scheme.CHATLB, scheme.DeviceIndirect} {
 		for _, gap := range []uint64{2000, 200, 20} {
-			p, err := workload.OpenLoopLatency(b, k, gap, queries)
-			if err != nil {
-				return t, err
-			}
-			t.Rows = append(t.Rows, []string{
-				k.String(), f("%d", gap), f("%.0f", p.AvgLatency),
-				f("%d", p.P50), f("%d", p.P95), f("%d", p.P99),
-			})
+			points = append(points, point{k, gap})
 		}
 	}
-	return t, nil
+	rows, err := expRows(expConfigFor(opts), points,
+		func(_ context.Context, _ int, pt point) ([][]string, error) {
+			p, err := workload.OpenLoopLatency(b, pt.k, pt.gap, queries)
+			if err != nil {
+				return nil, err
+			}
+			return [][]string{{
+				pt.k.String(), f("%d", pt.gap), f("%.0f", p.AvgLatency),
+				f("%d", p.P50), f("%d", p.P95), f("%d", p.P99),
+			}}, nil
+		})
+	t.Rows = rows
+	return t, err
 }
 
 // Scalability runs the multi-core study behind Tab. I's Scalability
 // column: the same aggregate query stream split across 1/2/4/8 cores.
 // Core-integrated accelerators are private per core; CHA schemes share
 // 24 distributed instances; device schemes funnel into one accelerator.
-func Scalability(s Scale) (TableData, error) {
+func Scalability(s Scale, opts ...ExpOption) (TableData, error) {
 	t := TableData{
 		Title:   "Tab. I scalability — aggregate throughput (queries/kilocycle)",
 		Headers: []string{"scheme", "cores", "throughput_q_per_kcyc"},
@@ -398,24 +433,34 @@ func Scalability(s Scale) (TableData, error) {
 	if s == FullScale {
 		b = workload.DefaultDPDK()
 	}
+	type point struct {
+		k     scheme.Kind
+		cores int
+	}
+	var points []point
 	for _, k := range []scheme.Kind{scheme.CoreIntegrated, scheme.CHATLB, scheme.DeviceDirect, scheme.DeviceIndirect} {
 		for _, cores := range []int{1, 2, 4, 8} {
-			r, err := workload.RunMultiCore(b, k, cores)
-			if err != nil {
-				return t, err
-			}
-			if r.Mismatches != 0 {
-				return t, fmt.Errorf("qei: scalability %s/%d produced %d wrong results", k, cores, r.Mismatches)
-			}
-			t.Rows = append(t.Rows, []string{k.String(), f("%d", cores), f("%.2f", r.Throughput)})
+			points = append(points, point{k, cores})
 		}
 	}
-	return t, nil
+	rows, err := expRows(expConfigFor(opts), points,
+		func(_ context.Context, _ int, pt point) ([][]string, error) {
+			r, err := workload.RunMultiCore(b, pt.k, pt.cores)
+			if err != nil {
+				return nil, err
+			}
+			if r.Mismatches != 0 {
+				return nil, fmt.Errorf("qei: scalability %s/%d produced %d wrong results", pt.k, pt.cores, r.Mismatches)
+			}
+			return [][]string{{pt.k.String(), f("%d", pt.cores), f("%.2f", r.Throughput)}}, nil
+		})
+	t.Rows = rows
+	return t, err
 }
 
 // NoCUtilization checks the Sec. V claim that one QEI accelerator can
 // saturate a meaningful share (~8%) of the mesh NoC bandwidth.
-func NoCUtilization(s Scale) (TableData, error) {
+func NoCUtilization(s Scale, opts ...ExpOption) (TableData, error) {
 	t := TableData{
 		Title:   "Sec. V — NoC bandwidth utilization of one QEI accelerator",
 		Headers: []string{"workload", "scheme", "peak_link_util_pct", "mean_util_pct"},
@@ -424,13 +469,16 @@ func NoCUtilization(s Scale) (TableData, error) {
 	if s == FullScale {
 		b = workload.DefaultFLANN()
 	}
-	for _, k := range []scheme.Kind{scheme.CoreIntegrated, scheme.DeviceIndirect} {
-		hw, err := workload.RunQEIUtilization(b, k)
-		if err != nil {
-			return t, err
-		}
-		t.Rows = append(t.Rows, []string{b.Name(), k.String(),
-			f("%.1f", hw.PeakLinkUtil*100), f("%.1f", hw.MeanUtil*100)})
-	}
-	return t, nil
+	rows, err := expRows(expConfigFor(opts),
+		[]scheme.Kind{scheme.CoreIntegrated, scheme.DeviceIndirect},
+		func(_ context.Context, _ int, k scheme.Kind) ([][]string, error) {
+			hw, err := workload.RunQEIUtilization(b, k)
+			if err != nil {
+				return nil, err
+			}
+			return [][]string{{b.Name(), k.String(),
+				f("%.1f", hw.PeakLinkUtil*100), f("%.1f", hw.MeanUtil*100)}}, nil
+		})
+	t.Rows = rows
+	return t, err
 }

@@ -88,10 +88,11 @@ func (s *System) RegisterFirmware(p Firmware) error {
 
 // WriteTableHeader lays out a Fig. 4 metadata header for a
 // custom-firmware structure whose body the application built with Write,
-// and returns a Table handle for Query. kind is a label for diagnostics;
-// typeCode selects the firmware; root points at the structure; keyLen is
-// the stored key length; aux and aux2 are firmware-specific parameters.
-func (s *System) WriteTableHeader(kind string, typeCode uint8, root uint64, keyLen int, size, aux, aux2 uint64) (Table, error) {
+// and returns a KindCustom Table handle for Query. label names the
+// structure for diagnostics (Table.Name reports it); typeCode selects
+// the firmware; root points at the structure; keyLen is the stored key
+// length; aux and aux2 are firmware-specific parameters.
+func (s *System) WriteTableHeader(label string, typeCode uint8, root uint64, keyLen int, size, aux, aux2 uint64) (Table, error) {
 	if typeCode == 0 {
 		return Table{}, fmt.Errorf("qei: type code 0 is reserved")
 	}
@@ -106,7 +107,7 @@ func (s *System) WriteTableHeader(kind string, typeCode uint8, root uint64, keyL
 		Aux:    aux,
 		Aux2:   aux2,
 	})
-	return Table{header: hdr, Kind: kind, KeyLen: keyLen}, nil
+	return Table{header: hdr, Kind: KindCustom, Label: label, KeyLen: keyLen}, nil
 }
 
 // ValidateFirmware explores nothing but checks the static constraints —

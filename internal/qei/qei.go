@@ -16,6 +16,7 @@
 package qei
 
 import (
+	"errors"
 	"fmt"
 
 	"qei/internal/cache"
@@ -27,6 +28,17 @@ import (
 	"qei/internal/noc"
 	"qei/internal/scheme"
 	"qei/internal/tlb"
+)
+
+// Sentinel errors for the architectural failure modes software is
+// expected to handle (List 2's poll loop reissues on both).
+var (
+	// ErrQSTFull reports that every QST entry is occupied at issue time;
+	// software should drain a completion and retry (Sec. IV-B).
+	ErrQSTFull = errors.New("qei: QST full")
+	// ErrAborted reports a non-blocking query flushed by an interrupt
+	// before completing; software should reissue it (Sec. IV-D).
+	ErrAborted = errors.New("qei: query aborted by interrupt flush")
 )
 
 // Stats accumulates accelerator activity for performance and power
@@ -322,6 +334,50 @@ func (a *Accelerator) IssueNonBlocking(q *isa.QueryDesc, issue uint64) (uint64, 
 type nbRecord struct {
 	done       uint64
 	resultAddr mem.VAddr
+}
+
+// Capacity returns the total number of QST entries across instances —
+// the architectural bound on outstanding non-blocking queries.
+func (a *Accelerator) Capacity() int {
+	return a.p.QSTEntriesPerInstance * a.p.Instances
+}
+
+// InFlightNB counts non-blocking queries still executing at cycle at,
+// pruning records of queries that have already completed.
+func (a *Accelerator) InFlightNB(at uint64) int {
+	n := 0
+	for tag, rec := range a.nbInFlight {
+		if rec.done > at {
+			n++
+		} else {
+			delete(a.nbInFlight, tag)
+		}
+	}
+	return n
+}
+
+// NextNBDone returns the earliest completion cycle among non-blocking
+// queries still executing at cycle at. ok is false when none are.
+func (a *Accelerator) NextNBDone(at uint64) (uint64, bool) {
+	var min uint64
+	ok := false
+	for _, rec := range a.nbInFlight {
+		if rec.done > at && (!ok || rec.done < min) {
+			min, ok = rec.done, true
+		}
+	}
+	return min, ok
+}
+
+// TryIssueNonBlocking is IssueNonBlocking with the architectural QST
+// bound enforced at issue time: when every entry is still occupied it
+// fails fast with ErrQSTFull instead of modelling back-pressure as
+// waiting, so software can run the List-2 drain-and-retry loop.
+func (a *Accelerator) TryIssueNonBlocking(q *isa.QueryDesc, issue uint64) (uint64, error) {
+	if a.InFlightNB(issue) >= a.Capacity() {
+		return 0, fmt.Errorf("%w: %d queries outstanding at cycle %d", ErrQSTFull, a.Capacity(), issue)
+	}
+	return a.IssueNonBlocking(q, issue)
 }
 
 func putLE(b []byte, v uint64) {
@@ -724,7 +780,7 @@ func (a *Accelerator) Flush(at uint64) uint64 {
 			pending++
 			r := a.results[tag]
 			r.Aborted = true
-			r.Fault = fmt.Errorf("qei: query %d aborted by interrupt flush", tag)
+			r.Fault = fmt.Errorf("qei: query %d: %w", tag, ErrAborted)
 			a.results[tag] = r
 			a.stats.AbortedNB++
 			// Abort code at the result address so polling software can

@@ -1,0 +1,90 @@
+package qei
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StructKind identifies the data-structure type of a Table. For the
+// built-in structures the numeric value equals the Fig. 4 header type
+// code, so a StructKind doubles as the firmware selector byte.
+type StructKind uint8
+
+// The built-in structure kinds (header type codes 1–7) plus KindCustom
+// for application firmware registered through RegisterFirmware.
+const (
+	KindInvalid    StructKind = 0
+	KindLinkedList StructKind = 1
+	KindHashTable  StructKind = 2
+	KindCuckoo     StructKind = 3
+	KindSkipList   StructKind = 4
+	KindBST        StructKind = 5
+	KindTrie       StructKind = 6
+	KindBTree      StructKind = 7
+	KindCustom     StructKind = 255
+)
+
+var kindNames = map[StructKind]string{
+	KindInvalid:    "invalid",
+	KindLinkedList: "linkedlist",
+	KindHashTable:  "hashtable",
+	KindCuckoo:     "cuckoo",
+	KindSkipList:   "skiplist",
+	KindBST:        "bst",
+	KindTrie:       "trie",
+	KindBTree:      "btree",
+	KindCustom:     "custom",
+}
+
+// StructKinds lists the built-in kinds in header-type-code order.
+func StructKinds() []StructKind {
+	return []StructKind{
+		KindLinkedList, KindHashTable, KindCuckoo, KindSkipList,
+		KindBST, KindTrie, KindBTree,
+	}
+}
+
+func (k StructKind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("structkind(%d)", uint8(k))
+}
+
+// TypeCode returns the header type byte the kind maps to, or 0 when the
+// kind has no fixed code (custom firmware chooses its own).
+func (k StructKind) TypeCode() uint8 {
+	if k >= KindLinkedList && k <= KindBTree {
+		return uint8(k)
+	}
+	return 0
+}
+
+var kindNormalizer = strings.NewReplacer(" ", "", "-", "", "_", "")
+
+// ParseStructKind maps a structure name ("cuckoo", "skiplist", …) back
+// to its StructKind; it accepts any case, ignores spaces, hyphens, and
+// underscores ("skip list", "b-tree"), and takes the aliases "list"
+// (linkedlist) and "hash" (hashtable).
+func ParseStructKind(s string) (StructKind, error) {
+	switch strings.ToLower(kindNormalizer.Replace(s)) {
+	case "linkedlist", "list":
+		return KindLinkedList, nil
+	case "hashtable", "hash":
+		return KindHashTable, nil
+	case "cuckoo":
+		return KindCuckoo, nil
+	case "skiplist":
+		return KindSkipList, nil
+	case "bst":
+		return KindBST, nil
+	case "trie":
+		return KindTrie, nil
+	case "btree":
+		return KindBTree, nil
+	case "custom":
+		return KindCustom, nil
+	default:
+		return KindInvalid, fmt.Errorf("qei: unknown structure kind %q", s)
+	}
+}

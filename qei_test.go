@@ -76,7 +76,7 @@ func TestAllBuildersAndSchemes(t *testing.T) {
 			}
 			for ti, tb := range tables {
 				n := 50
-				if tb.Kind == "linkedlist" {
+				if tb.Kind == KindLinkedList {
 					n = 30
 				}
 				for i := 0; i < n; i++ {

@@ -1,0 +1,108 @@
+package qei
+
+import (
+	"context"
+
+	"qei/internal/runner"
+)
+
+// ExpOption configures how an experiment executes (not what it
+// measures): cancellation and worker-pool parallelism.
+type ExpOption func(*expConfig)
+
+type expConfig struct {
+	ctx context.Context
+	par int
+}
+
+func expConfigFor(opts []ExpOption) expConfig {
+	cfg := expConfig{ctx: context.Background()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithContext attaches a cancellation context to an experiment run;
+// cancelling it stops the remaining jobs promptly.
+func WithContext(ctx context.Context) ExpOption {
+	return func(c *expConfig) { c.ctx = ctx }
+}
+
+// WithParallelism sets the experiment's worker count: each independent
+// job (one workload × scheme × ablation point, owning its own simulated
+// machine) runs on its own worker. n <= 0 means GOMAXPROCS; 1 forces
+// the serial path. Results are collected in input order, so the
+// rendered tables are byte-identical at any worker count.
+func WithParallelism(n int) ExpOption {
+	return func(c *expConfig) { c.par = n }
+}
+
+// expRows fans one job per item across the runner pool; each job
+// returns its group of table rows, and the groups are concatenated in
+// input order so the table matches the serial run byte for byte.
+func expRows[J any](cfg expConfig, jobs []J, fn func(ctx context.Context, i int, job J) ([][]string, error)) ([][]string, error) {
+	groups, err := runner.Map(cfg.ctx, cfg.par, jobs, fn)
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	for _, g := range groups {
+		rows = append(rows, g...)
+	}
+	return rows, nil
+}
+
+// Experiment is one registered figure/table reproduction.
+type Experiment struct {
+	// Name is the CLI selector (fig7, tab1, ...).
+	Name string
+	// Title is a one-line description.
+	Title string
+	// Run produces the experiment's table at the given scale.
+	Run func(s Scale, opts ...ExpOption) (TableData, error)
+}
+
+// wrapStatic adapts the parameterless static tables to the registry
+// signature.
+func wrapStatic(fn func() TableData) func(Scale, ...ExpOption) (TableData, error) {
+	return func(Scale, ...ExpOption) (TableData, error) { return fn(), nil }
+}
+
+// Experiments lists every figure/table reproduction in paper order —
+// the registry behind RunAll and cmd/qeibench.
+func Experiments() []Experiment {
+	return []Experiment{
+		{Name: "fig1", Title: "query share of CPU time", Run: Fig1QueryTimeShare},
+		{Name: "tab1", Title: "integration scheme comparison", Run: wrapStatic(TabI)},
+		{Name: "tab2", Title: "simulated CPU configuration", Run: wrapStatic(TabII)},
+		{Name: "fig7", Title: "lookup speedup per scheme", Run: Fig7Speedup},
+		{Name: "fig8", Title: "device-indirect latency sensitivity", Run: Fig8LatencySweep},
+		{Name: "fig9", Title: "end-to-end throughput improvement", Run: Fig9EndToEnd},
+		{Name: "fig10", Title: "tuple-space search with QUERY_NB", Run: Fig10TupleSpace},
+		{Name: "fig11", Title: "dynamic instruction reduction", Run: Fig11InstrReduction},
+		{Name: "tab3", Title: "area and static power", Run: wrapStatic(TabIII)},
+		{Name: "fig12", Title: "dynamic energy per query", Run: Fig12DynamicPower},
+		{Name: "tail", Title: "open-loop latency percentiles", Run: TailLatency},
+		{Name: "scale", Title: "multi-core scalability", Run: Scalability},
+		{Name: "noc", Title: "NoC bandwidth utilization", Run: NoCUtilization},
+	}
+}
+
+// RunAll reproduces every registered experiment at the given scale,
+// fanning each experiment's independent jobs across parallelism
+// workers (<= 0 means GOMAXPROCS). Experiments run in paper order and
+// tables are returned in that order; output is byte-identical to a
+// serial run. On error the tables completed so far are returned with
+// it.
+func RunAll(ctx context.Context, s Scale, parallelism int) ([]TableData, error) {
+	var out []TableData
+	for _, e := range Experiments() {
+		t, err := e.Run(s, WithContext(ctx), WithParallelism(parallelism))
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

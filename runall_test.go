@@ -1,0 +1,57 @@
+package qei
+
+import (
+	"context"
+	"testing"
+)
+
+// TestExperimentParallelDeterminism is the tentpole guarantee: an
+// experiment fanned across workers renders byte-identically to its
+// serial run.
+func TestExperimentParallelDeterminism(t *testing.T) {
+	serial, err := Fig1QueryTimeShare(Small, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig1QueryTimeShare(Small, WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial.String(), parallel.String(); s != p {
+		t.Fatalf("parallel output diverges from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+	if s, p := serial.CSV(), parallel.CSV(); s != p {
+		t.Fatal("parallel CSV diverges from serial")
+	}
+}
+
+func TestExperimentContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Fig1QueryTimeShare(Small, WithContext(ctx), WithParallelism(2)); err == nil {
+		t.Fatal("cancelled context did not stop the experiment")
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Experiments() {
+		if e.Name == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete registry entry %+v", e)
+		}
+		if seen[e.Name] {
+			t.Fatalf("duplicate experiment name %q", e.Name)
+		}
+		seen[e.Name] = true
+	}
+	// The static tables run through the same signature.
+	for _, name := range []string{"tab1", "tab2", "tab3"} {
+		if !seen[name] {
+			t.Fatalf("registry missing %s", name)
+		}
+	}
+	tab, err := Experiments()[1].Run(Small) // tab1
+	if err != nil || len(tab.Rows) == 0 {
+		t.Fatalf("static experiment: %v, %d rows", err, len(tab.Rows))
+	}
+}

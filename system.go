@@ -61,10 +61,22 @@ func (s Scheme) kind() scheme.Kind {
 // machine's memory and described by a Fig. 4 metadata header.
 type Table struct {
 	header mem.VAddr
-	// Kind is the structure's type name ("cuckoo", "skiplist", ...).
-	Kind string
+	// Kind is the structure's type (KindCuckoo, KindSkipList, ...).
+	Kind StructKind
+	// Label names a KindCustom table (the diagnostics label passed to
+	// WriteTableHeader); empty for built-in kinds.
+	Label string
 	// KeyLen is the fixed key length stored in the header.
 	KeyLen int
+}
+
+// Name returns the table's display name: the kind name for built-in
+// structures, the registration label for custom firmware tables.
+func (t Table) Name() string {
+	if t.Kind == KindCustom && t.Label != "" {
+		return t.Label
+	}
+	return t.Kind.String()
 }
 
 // HeaderAddr returns the simulated virtual address of the structure's
@@ -94,22 +106,68 @@ type System struct {
 	reg   *cfa.Registry
 	accel *qei.Accelerator
 	sch   Scheme
+	seed  int64
 	now   uint64
 	tag   uint64
 }
 
+// Option configures a System at construction.
+type Option func(*sysConfig)
+
+type sysConfig struct {
+	qstSize int
+	tracing bool
+	seed    int64
+}
+
+// WithQSTSize overrides the scheme's per-instance QST entry count — the
+// Fig. 10 tuple-space ablation knob, without reaching into
+// internal/scheme constants.
+func WithQSTSize(n int) Option {
+	return func(c *sysConfig) { c.qstSize = n }
+}
+
+// WithTracing enables query-span recording from the first query (see
+// EnableTracing/ExportTrace).
+func WithTracing() Option {
+	return func(c *sysConfig) { c.tracing = true }
+}
+
+// WithSeed sets the seed for the system's randomized software routines
+// (skip-list level coins in mutable tables). Default 7.
+func WithSeed(seed int64) Option {
+	return func(c *sysConfig) { c.seed = seed }
+}
+
 // NewSystem builds a 24-core machine (Tab. II configuration) with a QEI
 // accelerator in the given integration scheme.
-func NewSystem(s Scheme) *System {
+func NewSystem(s Scheme, opts ...Option) *System {
+	cfg := sysConfig{seed: 7}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	p := scheme.ForKind(s.kind())
+	if cfg.qstSize > 0 {
+		p.QSTEntriesPerInstance = cfg.qstSize
+	}
 	m := machine.NewDefault()
 	reg := cfa.DefaultRegistry()
-	return &System{
+	sys := &System{
 		m:     m,
 		reg:   reg,
-		accel: qei.New(m, scheme.ForKind(s.kind()), reg, 0),
+		accel: qei.New(m, p, reg, 0),
 		sch:   s,
+		seed:  cfg.seed,
 	}
+	if cfg.tracing {
+		sys.accel.EnableTracing()
+	}
+	return sys
 }
+
+// QSTCapacity returns the total number of QST entries across the
+// accelerator's instances — the bound on outstanding async queries.
+func (s *System) QSTCapacity() int { return s.accel.Capacity() }
 
 // Scheme reports the system's integration scheme.
 func (s *System) Scheme() Scheme { return s.sch }
@@ -154,7 +212,7 @@ func (s *System) BuildCuckoo(keys [][]byte, values []uint64) (Table, error) {
 		return Table{}, err
 	}
 	c := dstruct.BuildCuckoo(s.m.AS, uint64(len(keys)/2), 8, 0x9E37, keys, values)
-	return Table{header: c.HeaderAddr, Kind: "cuckoo", KeyLen: int(c.KeyLen)}, nil
+	return Table{header: c.HeaderAddr, Kind: KindCuckoo, KeyLen: int(c.KeyLen)}, nil
 }
 
 // MustBuildCuckoo is BuildCuckoo, panicking on invalid input.
@@ -173,7 +231,7 @@ func (s *System) BuildHashTable(keys [][]byte, values []uint64) (Table, error) {
 		return Table{}, err
 	}
 	h := dstruct.BuildHashTable(s.m.AS, uint64(len(keys)/4), 0x51ED, keys, values)
-	return Table{header: h.HeaderAddr, Kind: "hashtable", KeyLen: int(h.KeyLen)}, nil
+	return Table{header: h.HeaderAddr, Kind: KindHashTable, KeyLen: int(h.KeyLen)}, nil
 }
 
 // BuildSkipList lays out a sorted skip list (RocksDB-memtable style).
@@ -182,7 +240,7 @@ func (s *System) BuildSkipList(keys [][]byte, values []uint64) (Table, error) {
 		return Table{}, err
 	}
 	sl := dstruct.BuildSkipList(s.m.AS, 7, keys, values)
-	return Table{header: sl.HeaderAddr, Kind: "skiplist", KeyLen: int(sl.KeyLen)}, nil
+	return Table{header: sl.HeaderAddr, Kind: KindSkipList, KeyLen: int(sl.KeyLen)}, nil
 }
 
 // BuildBST lays out a binary search tree whose nodes carry payload extra
@@ -195,7 +253,7 @@ func (s *System) BuildBST(keys [][]byte, values []uint64, payload int) (Table, e
 		return Table{}, fmt.Errorf("qei: negative payload %d", payload)
 	}
 	b := dstruct.BuildBST(s.m.AS, 7, payload, keys, values)
-	return Table{header: b.HeaderAddr, Kind: "bst", KeyLen: int(b.KeyLen)}, nil
+	return Table{header: b.HeaderAddr, Kind: KindBST, KeyLen: int(b.KeyLen)}, nil
 }
 
 // BuildLinkedList lays out a singly linked list in the given order.
@@ -204,7 +262,7 @@ func (s *System) BuildLinkedList(keys [][]byte, values []uint64) (Table, error) 
 		return Table{}, err
 	}
 	l := dstruct.BuildLinkedList(s.m.AS, keys, values)
-	return Table{header: l.HeaderAddr, Kind: "linkedlist", KeyLen: int(l.KeyLen)}, nil
+	return Table{header: l.HeaderAddr, Kind: KindLinkedList, KeyLen: int(l.KeyLen)}, nil
 }
 
 // BuildBTree bulk-loads a B+-tree index (fanout 16) over the keys.
@@ -213,7 +271,7 @@ func (s *System) BuildBTree(keys [][]byte, values []uint64) (Table, error) {
 		return Table{}, err
 	}
 	bt := dstruct.BuildBTree(s.m.AS, 16, keys, values)
-	return Table{header: bt.HeaderAddr, Kind: "btree", KeyLen: int(bt.KeyLen)}, nil
+	return Table{header: bt.HeaderAddr, Kind: KindBTree, KeyLen: int(bt.KeyLen)}, nil
 }
 
 // BuildTrie compiles a keyword dictionary into an Aho-Corasick automaton
@@ -232,7 +290,7 @@ func (s *System) BuildTrie(keywords [][]byte, values []uint64) (Table, error) {
 		}
 	}
 	tr := dstruct.BuildTrie(s.m.AS, keywords, values)
-	return Table{header: tr.HeaderAddr, Kind: "trie", KeyLen: 1}, nil
+	return Table{header: tr.HeaderAddr, Kind: KindTrie, KeyLen: 1}, nil
 }
 
 // Query performs a blocking QUERY_B lookup of key in t through the
@@ -250,7 +308,7 @@ func (s *System) QueryAt(t Table, keyAddr uint64, keyLen int) (Result, error) {
 		KeyAddr:    mem.VAddr(keyAddr),
 		Tag:        tag,
 	}
-	if t.Kind == "trie" {
+	if t.Kind == KindTrie {
 		desc.KeyLen = uint32(keyLen)
 	}
 	done, err := s.accel.IssueBlocking(desc, s.now)
@@ -275,7 +333,7 @@ func (s *System) QueryAt(t Table, keyAddr uint64, keyLen int) (Result, error) {
 // Scan runs input through a trie table (the Snort literal-matching use
 // case): one query whose "key" is the whole input buffer.
 func (s *System) Scan(t Table, input []byte) (Result, error) {
-	if t.Kind != "trie" {
+	if t.Kind != KindTrie {
 		return Result{}, fmt.Errorf("qei: Scan needs a trie table, got %s", t.Kind)
 	}
 	return s.Query(t, input)
@@ -290,6 +348,8 @@ type AsyncHandle struct {
 
 // QueryAsync issues a non-blocking QUERY_NB lookup. The issue clock
 // advances only to the acceptance point; Wait retrieves the result.
+// When every QST entry is occupied it returns ErrQSTFull — drain a
+// completion with Wait and reissue, or use QueryBatch.
 func (s *System) QueryAsync(t Table, key []byte) (AsyncHandle, error) {
 	keyAddr := s.Write(key)
 	resAddr := s.m.AS.AllocLines(mem.LineSize)
@@ -300,10 +360,10 @@ func (s *System) QueryAsync(t Table, key []byte) (AsyncHandle, error) {
 		ResultAddr: resAddr,
 		Tag:        tag,
 	}
-	if t.Kind == "trie" {
+	if t.Kind == KindTrie {
 		desc.KeyLen = uint32(len(key))
 	}
-	accepted, err := s.accel.IssueNonBlocking(desc, s.now)
+	accepted, err := s.accel.TryIssueNonBlocking(desc, s.now)
 	if err != nil {
 		return AsyncHandle{}, err
 	}
@@ -311,12 +371,18 @@ func (s *System) QueryAsync(t Table, key []byte) (AsyncHandle, error) {
 	return AsyncHandle{tag: tag, resultAddr: resAddr, accepted: accepted}, nil
 }
 
-// Wait polls an async query's result (the SNAPSHOT_READ loop of List 2),
-// advancing the issue clock to its completion if needed.
+// Wait retrieves an async query's result (the SNAPSHOT_READ loop of
+// List 2), advancing the issue clock to its completion if needed. It
+// returns ErrUnknownHandle for a foreign handle, ErrAborted for a query
+// flushed by Interrupt, and ErrResultPending when the completion flag
+// has not been written.
 func (s *System) Wait(h AsyncHandle) (Result, error) {
 	r, ok := s.accel.Result(h.tag)
 	if !ok {
-		return Result{}, fmt.Errorf("qei: unknown async handle")
+		return Result{}, ErrUnknownHandle
+	}
+	if r.Aborted {
+		return Result{}, fmt.Errorf("qei: query %d: %w", h.tag, ErrAborted)
 	}
 	if r.Done > s.now {
 		s.now = r.Done
@@ -327,7 +393,31 @@ func (s *System) Wait(h AsyncHandle) (Result, error) {
 		return Result{}, err
 	}
 	if flag == 0 {
-		return Result{}, fmt.Errorf("qei: async result not yet written")
+		return Result{}, ErrResultPending
+	}
+	return Result{
+		Found:   r.Found,
+		Value:   r.Value,
+		Matches: r.Matches,
+		Latency: r.Done - h.accepted,
+		Err:     r.Fault,
+	}, nil
+}
+
+// Poll is one non-advancing iteration of the List-2 loop: it checks an
+// async query's result without moving the issue clock, returning
+// ErrResultPending while the query is still executing at Now(),
+// ErrAborted if it was flushed, and the result once complete.
+func (s *System) Poll(h AsyncHandle) (Result, error) {
+	r, ok := s.accel.Result(h.tag)
+	if !ok {
+		return Result{}, ErrUnknownHandle
+	}
+	if r.Aborted {
+		return Result{}, fmt.Errorf("qei: query %d: %w", h.tag, ErrAborted)
+	}
+	if r.Done > s.now {
+		return Result{}, ErrResultPending
 	}
 	return Result{
 		Found:   r.Found,

@@ -36,7 +36,7 @@ func (s *System) BuildMutableCuckoo(keys [][]byte, values []uint64) (*MutableTab
 	}
 	c := dstruct.BuildCuckoo(s.m.AS, uint64(len(keys)), 8, 0x9E37, keys, values)
 	return &MutableTable{
-		Table: Table{header: c.HeaderAddr, Kind: "cuckoo", KeyLen: int(c.KeyLen)},
+		Table: Table{header: c.HeaderAddr, Kind: KindCuckoo, KeyLen: int(c.KeyLen)},
 		sys:   s,
 		ck:    c,
 	}, nil
@@ -49,10 +49,10 @@ func (s *System) BuildMutableSkipList(keys [][]byte, values []uint64) (*MutableT
 	}
 	sl := dstruct.BuildSkipList(s.m.AS, 7, keys, values)
 	return &MutableTable{
-		Table: Table{header: sl.HeaderAddr, Kind: "skiplist", KeyLen: int(sl.KeyLen)},
+		Table: Table{header: sl.HeaderAddr, Kind: KindSkipList, KeyLen: int(sl.KeyLen)},
 		sys:   s,
 		sl:    sl,
-		rng:   rand.New(rand.NewSource(7)),
+		rng:   rand.New(rand.NewSource(s.seed)),
 	}, nil
 }
 
@@ -66,7 +66,7 @@ func (s *System) BuildMutableBST(keys [][]byte, values []uint64, payload int) (*
 	}
 	b := dstruct.BuildBST(s.m.AS, 7, payload, keys, values)
 	return &MutableTable{
-		Table: Table{header: b.HeaderAddr, Kind: "bst", KeyLen: int(b.KeyLen)},
+		Table: Table{header: b.HeaderAddr, Kind: KindBST, KeyLen: int(b.KeyLen)},
 		sys:   s,
 		bs:    b,
 	}, nil
@@ -79,7 +79,7 @@ func (s *System) BuildMutableLinkedList(keys [][]byte, values []uint64) (*Mutabl
 	}
 	l := dstruct.BuildLinkedList(s.m.AS, keys, values)
 	return &MutableTable{
-		Table: Table{header: l.HeaderAddr, Kind: "linkedlist", KeyLen: int(l.KeyLen)},
+		Table: Table{header: l.HeaderAddr, Kind: KindLinkedList, KeyLen: int(l.KeyLen)},
 		sys:   s,
 		ll:    l,
 	}, nil
