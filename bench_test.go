@@ -437,6 +437,40 @@ func BenchmarkAblationHugePage(b *testing.B) {
 	}
 }
 
+// BenchmarkBenchMatrix regenerates the machine-readable benchmark
+// matrix (qeibench -json).
+func BenchmarkBenchMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := BenchMatrix(benchScale(b), expOpts()...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logTable(b, t)
+		}
+	}
+}
+
+// BenchmarkObservedQuery quantifies the wall-clock cost of live
+// instrumentation on the hot path (compare with BenchmarkQuerySingle;
+// simulated cycles are asserted identical by
+// TestObservabilityZeroCycleImpact).
+func BenchmarkObservedQuery(b *testing.B) {
+	sys := NewSystem(CoreIntegrated, WithMetrics(), WithTrace())
+	keys, vals := testKeys(1000, 16, 42)
+	table := sys.MustBuildCuckoo(keys, vals)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.Query(table, keys[i%len(keys)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Found {
+			b.Fatal("lookup missed")
+		}
+	}
+}
+
 // BenchmarkQuerySingle measures one accelerated query end to end through
 // the public API (the library's hot path).
 func BenchmarkQuerySingle(b *testing.B) {

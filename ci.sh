@@ -18,4 +18,13 @@ go vet ./...
 # 10m per-package budget, so give them room.
 go test -race -timeout 90m ./...
 
+# Bench smoke: one iteration of the Tab. I benchmark proves the bench
+# harness still assembles and logs its table.
+go test -run '^$' -bench BenchmarkTab1 -benchtime 1x -short .
+
+# Zero-overhead guard: attaching metrics + tracing must not move a
+# single simulated cycle (deterministic cycle-count assertion — no
+# flaky wall-clock thresholds).
+go test -run '^TestObservabilityZeroCycleImpact$' -count=1 .
+
 echo "ci: ok"

@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	qeibench [-scale small|full] [-exp all|fig1|...|noc] [-parallel N] [-csv]
+//	qeibench [-scale small|full] [-exp all|fig1|...|bench] [-parallel N] [-csv]
+//	qeibench -json [-out DIR] [-scale small|full] [-parallel N]
+//
+// -json runs the bench experiment (the workload × scheme matrix with
+// metrics attached) and writes machine-readable results to
+// BENCH_bench.json in -out: one record per cell with cycles, speedup
+// over the software baseline, and the key simulator counters.
 package main
 
 import (
@@ -24,6 +30,8 @@ func main() {
 	expFlag := flag.String("exp", "all", "experiment to run: all or one of the registry names (fig1, tab1, ...)")
 	parFlag := flag.Int("parallel", 1, "worker count for experiment jobs; 0 = GOMAXPROCS")
 	csvFlag := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonFlag := flag.Bool("json", false, "run the bench matrix and write machine-readable BENCH_bench.json")
+	outFlag := flag.String("out", ".", "directory for -json output")
 	flag.Parse()
 
 	scale := qei.Small
@@ -37,6 +45,20 @@ func main() {
 	}
 
 	ctx := context.Background()
+	if *jsonFlag {
+		rs, err := qei.RunBench(scale, qei.WithContext(ctx), qei.WithParallelism(*parFlag))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qeibench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		path, err := qei.WriteBenchJSON(*outFlag, "bench", rs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qeibench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d records to %s\n", len(rs), path)
+		return
+	}
 	want := strings.ToLower(*expFlag)
 	ran := 0
 	for _, e := range qei.Experiments() {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"qei/internal/metrics"
 	"qei/internal/runner"
 	"qei/internal/workload"
 )
@@ -18,6 +19,7 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "small", "scale: small or full")
 	parFlag := flag.Int("parallel", 1, "worker count; 0 = GOMAXPROCS")
+	metricsFlag := flag.Bool("metrics", false, "print merged counter totals across all profiled workloads")
 	flag.Parse()
 
 	var benches []workload.Benchmark
@@ -27,22 +29,33 @@ func main() {
 		benches = workload.AllSmall()
 	}
 
-	lines, err := runner.Map(context.Background(), *parFlag, benches,
-		func(_ context.Context, _ int, b workload.Benchmark) (string, error) {
+	type profiled struct {
+		line string
+		snap metrics.Snapshot
+	}
+	rows, err := runner.Map(context.Background(), *parFlag, benches,
+		func(_ context.Context, _ int, b workload.Benchmark) (profiled, error) {
 			share, err := workload.ROIShare(b)
 			if err != nil {
-				return "", fmt.Errorf("%s: %w", b.Name(), err)
+				return profiled{}, fmt.Errorf("%s: %w", b.Name(), err)
 			}
-			roi, err := workload.RunBaseline(b, workload.ROIOnly)
+			var opts []workload.RunOption
+			if *metricsFlag {
+				opts = append(opts, workload.WithMetrics(metrics.NewRegistry()))
+			}
+			roi, err := workload.RunBaseline(b, workload.ROIOnly, opts...)
 			if err != nil {
-				return "", fmt.Errorf("%s: %w", b.Name(), err)
+				return profiled{}, fmt.Errorf("%s: %w", b.Name(), err)
 			}
 			q := float64(roi.Queries)
-			return fmt.Sprintf("%-10s %10.1f%% %14.2f %14.1f %12.2f",
-				b.Name(), share*100,
-				float64(roi.Core.Mispredicts)/q,
-				float64(roi.Core.Loads)/q,
-				roi.Core.IPC()), nil
+			return profiled{
+				line: fmt.Sprintf("%-10s %10.1f%% %14.2f %14.1f %12.2f",
+					b.Name(), share*100,
+					float64(roi.Core.Mispredicts)/q,
+					float64(roi.Core.Loads)/q,
+					roi.Core.IPC()),
+				snap: roi.Metrics,
+			}, nil
 		})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qeiprof: %v\n", err)
@@ -51,8 +64,18 @@ func main() {
 
 	fmt.Printf("%-10s %-12s %-14s %-14s %-12s\n",
 		"workload", "query_share", "mispredicts/q", "loads/query", "IPC(ROI)")
-	for _, l := range lines {
-		fmt.Println(l)
+	for _, r := range rows {
+		fmt.Println(r.line)
 	}
 	fmt.Println("\npaper band (Fig. 1): query operations take 23%-44% of CPU time")
+
+	if *metricsFlag {
+		snaps := make([]metrics.Snapshot, 0, len(rows))
+		for _, r := range rows {
+			snaps = append(snaps, r.snap)
+		}
+		merged := metrics.Merge(snaps...).NonZero()
+		fmt.Printf("\nmerged counters across %d workloads (%d non-zero)\n", len(rows), len(merged))
+		fmt.Print(merged.String())
+	}
 }

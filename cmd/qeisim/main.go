@@ -6,11 +6,17 @@
 //
 //	qeisim -workload dpdk|jvm|rocksdb|snort|flann|tuple5|tuple10|tuple15 \
 //	       -scheme software|core|cha-tlb|cha-notlb|device-direct|device-indirect|all \
-//	       [-mode full|roi|nonroi] [-nb] [-scale small|full] [-warm] [-parallel N]
+//	       [-mode full|roi|nonroi] [-nb] [-scale small|full] [-warm] [-parallel N] \
+//	       [-metrics] [-trace out.json]
 //
 // -scheme all runs the software baseline plus every integration scheme
 // and prints a side-by-side comparison, fanning the runs across
 // -parallel workers.
+//
+// -metrics appends the run's full counter snapshot (component-path
+// names, one per line); -trace writes the unified cycle-stamped event
+// timeline as Chrome trace-event JSON (open in Perfetto or
+// chrome://tracing). Both apply to single-scheme, single-core runs.
 package main
 
 import (
@@ -19,8 +25,10 @@ import (
 	"fmt"
 	"os"
 
+	"qei/internal/metrics"
 	"qei/internal/runner"
 	"qei/internal/scheme"
+	"qei/internal/trace"
 	"qei/internal/workload"
 )
 
@@ -33,6 +41,8 @@ func main() {
 	warmFlag := flag.Bool("warm", true, "run a warmup pass before measuring")
 	coresFlag := flag.Int("cores", 1, "issue the query stream from this many cores (scalability mode)")
 	parFlag := flag.Int("parallel", 0, "workers for -scheme all; 0 = GOMAXPROCS")
+	metricsFlag := flag.Bool("metrics", false, "print the full metric snapshot after the run")
+	traceFlag := flag.String("trace", "", "write the unified event trace to this file (Chrome trace-event JSON)")
 	flag.Parse()
 
 	full := *scaleFlag == "full"
@@ -83,6 +93,17 @@ func main() {
 		return
 	}
 
+	var reg *metrics.Registry
+	if *metricsFlag {
+		reg = metrics.NewRegistry()
+		opts = append(opts, workload.WithMetrics(reg))
+	}
+	var tr *trace.Tracer
+	if *traceFlag != "" {
+		tr = trace.New(0)
+		opts = append(opts, workload.WithTrace(tr))
+	}
+
 	var run workload.Run
 	var err error
 	switch *schemeFlag {
@@ -121,6 +142,17 @@ func main() {
 			a.Queries, a.Transitions, a.MemLines, a.LocalCompares, a.RemoteCompares)
 		fmt.Printf("qei        occupancy %.2f, %d QST-stall cycles, %d exceptions\n",
 			a.Occupancy(), a.QSTStallCycles, a.Exceptions)
+	}
+	if reg != nil {
+		fmt.Printf("\nmetrics (%d non-zero counters)\n", len(run.Metrics.NonZero()))
+		fmt.Print(run.Metrics.NonZero().String())
+	}
+	if tr != nil {
+		doc := tr.Export()
+		if err := os.WriteFile(*traceFlag, []byte(doc), 0o644); err != nil {
+			fail("write trace: %v", err)
+		}
+		fmt.Printf("\nwrote %d trace events to %s (%d dropped)\n", tr.Len(), *traceFlag, tr.Dropped())
 	}
 	if run.Mismatches != 0 {
 		os.Exit(1)

@@ -1,11 +1,15 @@
-// Command qeitrace records the accelerator's query timeline for a short
-// run and writes it as Chrome tracing JSON (load in chrome://tracing or
-// Perfetto). Each row is one QST slot; the staggered spans show the
-// out-of-order, pipelined CFA execution of Sec. IV-B.
+// Command qeitrace records the simulator's unified event timeline for a
+// short run and writes it as Chrome trace-event JSON (load in
+// chrome://tracing or Perfetto). Query spans land on QST instance
+// tracks (one row per slot — the staggered spans show the out-of-order,
+// pipelined CFA execution of Sec. IV-B), alongside cache accesses, page
+// walks, NoC transfers, and CHA remote compares on their own tracks.
+//
+// -spans restricts the output to the legacy query-span-only view.
 //
 // Usage:
 //
-//	qeitrace [-queries 64] [-scheme core|cha-tlb|...] [-table skiplist|cuckoo|...] [-o trace.json]
+//	qeitrace [-queries 64] [-scheme core|cha-tlb|...] [-table skiplist|cuckoo|...] [-o trace.json] [-spans]
 package main
 
 import (
@@ -22,6 +26,7 @@ func main() {
 	schemeFlag := flag.String("scheme", "core", "integration scheme")
 	tableFlag := flag.String("table", "skiplist", "structure to trace: skiplist, cuckoo, hashtable, bst, btree, linkedlist")
 	outFlag := flag.String("o", "", "output file (default stdout)")
+	spansFlag := flag.Bool("spans", false, "export only the legacy query-span view, not the unified timeline")
 	flag.Parse()
 
 	var sch qei.Scheme
@@ -47,7 +52,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	sys := qei.NewSystem(sch, qei.WithTracing())
+	sysOpts := []qei.Option{qei.WithTracing()}
+	if !*spansFlag {
+		// Unified timeline: ExportTrace then renders every component's
+		// events, not just the accelerator's query spans.
+		sysOpts = append(sysOpts, qei.WithTrace())
+	}
+	sys := qei.NewSystem(sch, sysOpts...)
 	rng := rand.New(rand.NewSource(1))
 	keys := make([][]byte, 2048)
 	vals := make([]uint64, len(keys))
@@ -99,5 +110,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "qeitrace: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %d query spans to %s\n", *nFlag, *outFlag)
+	fmt.Printf("wrote trace of %d queries to %s\n", *nFlag, *outFlag)
 }

@@ -50,13 +50,14 @@ func (t TableData) String() string {
 	return tab.String()
 }
 
-// CSV renders the table as comma-separated values.
+// CSV renders the table as comma-separated values, escaping cells per
+// RFC 4180 (several titles and scheme notes contain commas).
 func (t TableData) CSV() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteString(stats.CSVRow(t.Headers))
 	b.WriteByte('\n')
 	for _, r := range t.Rows {
-		b.WriteString(strings.Join(r, ","))
+		b.WriteString(stats.CSVRow(r))
 		b.WriteByte('\n')
 	}
 	return b.String()

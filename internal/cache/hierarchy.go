@@ -5,6 +5,7 @@ import (
 
 	"qei/internal/mem"
 	"qei/internal/noc"
+	"qei/internal/trace"
 )
 
 // DRAMConfig models the memory subsystem: six DDR4-2666 channels per
@@ -139,6 +140,10 @@ type Hierarchy struct {
 	// reqBytes / lineBytes are the message sizes used for NoC accounting.
 	reqBytes  uint64
 	lineBytes uint64
+
+	// tr receives per-access spans from the *At access variants; nil
+	// (the default) keeps the hot paths free of tracing cost.
+	tr *trace.Tracer
 }
 
 // NewHierarchy builds the chip: nCores private hierarchies, an LLC slice

@@ -19,6 +19,7 @@ package cpu
 import (
 	"qei/internal/isa"
 	"qei/internal/mem"
+	"qei/internal/trace"
 )
 
 // Config sets the core's microarchitectural parameters (Tab. II).
@@ -143,6 +144,11 @@ type Core struct {
 
 	stats Stats
 	err   error
+
+	// tr/tracePid route pipeline events (query spans, mispredict
+	// instants) onto the core's trace track; nil tr disables them.
+	tr       *trace.Tracer
+	tracePid int
 }
 
 // New builds a core over the given memory and accelerator ports. The
@@ -271,6 +277,7 @@ func (c *Core) Feed(op *isa.Op) uint64 {
 		complete = start + c.cfg.ALULatency
 		if op.Mispredict {
 			c.stats.Mispredicts++
+			c.tr.Point("cpu", "mispredict", complete, c.tracePid, trace.TidCorePipe, nil)
 			c.redirectFrontend(complete + c.cfg.MispredictPenalty)
 		}
 
@@ -289,6 +296,7 @@ func (c *Core) Feed(op *isa.Op) uint64 {
 			c.err = err
 			return c.lastRetire
 		}
+		c.tr.Span("cpu", "query_b", issue, done, c.tracePid, trace.TidCorePipe, nil)
 		complete = done
 
 	case isa.QueryNB:
@@ -303,6 +311,7 @@ func (c *Core) Feed(op *isa.Op) uint64 {
 			c.err = err
 			return c.lastRetire
 		}
+		c.tr.Span("cpu", "query_nb", issue, accepted, c.tracePid, trace.TidCorePipe, nil)
 		complete = accepted
 	}
 

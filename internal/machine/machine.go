@@ -7,11 +7,15 @@
 package machine
 
 import (
+	"fmt"
+
 	"qei/internal/cache"
 	"qei/internal/cpu"
 	"qei/internal/mem"
+	"qei/internal/metrics"
 	"qei/internal/noc"
 	"qei/internal/tlb"
+	"qei/internal/trace"
 )
 
 // Config selects the chip parameters (defaults follow Tab. II).
@@ -53,6 +57,12 @@ type Machine struct {
 	Hier *cache.Hierarchy
 	// TLB holds one translation hierarchy per core.
 	TLB []*tlb.Hierarchy
+
+	// reg/tr are the observability sinks attached by
+	// AttachObservability; both may be nil (the default), in which case
+	// every instrumentation site degrades to a no-op.
+	reg *metrics.Registry
+	tr  *trace.Tracer
 }
 
 // New builds a machine from cfg.
@@ -82,6 +92,33 @@ func New(cfg Config) *Machine {
 // NewDefault builds a machine with DefaultConfig.
 func NewDefault() *Machine { return New(DefaultConfig()) }
 
+// AttachObservability wires every component of the machine into the
+// given metrics registry and event tracer. Either (or both) may be nil:
+// component registration is nil-safe and instrumented hot paths fall
+// back to their free no-op branches. Cores built afterwards via NewCore
+// are wired automatically; call this before running simulation.
+func (m *Machine) AttachObservability(reg *metrics.Registry, tr *trace.Tracer) {
+	m.reg = reg
+	m.tr = tr
+	m.Hier.RegisterMetrics(reg)
+	m.Hier.SetTracer(tr)
+	m.Mesh.RegisterMetrics(reg.Scoped("noc"))
+	m.Mesh.SetTracer(tr)
+	m.Phys.RegisterMetrics(reg.Scoped("mem"))
+	m.AS.RegisterMetrics(reg.Scoped("mem"))
+	m.AS.SetTracer(tr)
+	for i, t := range m.TLB {
+		t.RegisterMetrics(reg.Scoped(fmt.Sprintf("core%d/tlb", i)))
+		t.SetTracer(tr, i, trace.TidCoreTLB)
+	}
+}
+
+// Metrics returns the attached registry (nil when observability is off).
+func (m *Machine) Metrics() *metrics.Registry { return m.reg }
+
+// Tracer returns the attached tracer (nil when observability is off).
+func (m *Machine) Tracer() *trace.Tracer { return m.tr }
+
 // corePort adapts a core's TLB + cache path to cpu.MemPort.
 type corePort struct {
 	m    *Machine
@@ -91,7 +128,7 @@ type corePort struct {
 // Access translates a through the core's L1/L2 TLBs and performs the
 // cache access; latency composes translation and hierarchy costs.
 func (p corePort) Access(a mem.VAddr, write bool, issue uint64) (uint64, error) {
-	pa, tlat, err := p.m.TLB[p.core].Translate(a)
+	pa, tlat, err := p.m.TLB[p.core].TranslateAt(a, issue)
 	if err != nil {
 		return 0, err
 	}
@@ -99,7 +136,7 @@ func (p corePort) Access(a mem.VAddr, write bool, issue uint64) (uint64, error) 
 	if write {
 		kind = cache.Write
 	}
-	r := p.m.Hier.CoreAccess(p.core, pa, kind)
+	r := p.m.Hier.CoreAccessAt(p.core, pa, kind, issue+tlat)
 	return tlat + r.Latency, nil
 }
 
@@ -109,9 +146,18 @@ func (m *Machine) CoreMemPort(core int) cpu.MemPort {
 }
 
 // NewCore builds a cpu.Core wired to this machine's memory system, with
-// the given accelerator port (nil for pure software runs).
+// the given accelerator port (nil for pure software runs). If
+// observability is attached, the core registers its pipeline counters
+// under core<i>/ and emits events on the core's trace track.
 func (m *Machine) NewCore(core int, q cpu.QueryPort) *cpu.Core {
-	return cpu.New(cpu.DefaultConfig(), m.CoreMemPort(core), q)
+	c := cpu.New(cpu.DefaultConfig(), m.CoreMemPort(core), q)
+	if m.reg != nil {
+		c.RegisterMetrics(m.reg.Scoped(fmt.Sprintf("core%d", core)))
+	}
+	if m.tr != nil {
+		c.SetTracer(m.tr, core)
+	}
+	return c
 }
 
 // Translate resolves a virtual address without charging TLB state

@@ -18,6 +18,8 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+
+	"qei/internal/trace"
 )
 
 const (
@@ -141,6 +143,8 @@ type AddressSpace struct {
 	// models the fragmented layouts cloud workloads actually see.
 	frameStride uint64
 	walkLevels  int
+	// tr receives page_map instants (see SetTracer); nil disables them.
+	tr *trace.Tracer
 }
 
 // ASOption configures an AddressSpace.
@@ -216,6 +220,9 @@ func (as *AddressSpace) AllocLines(size uint64) VAddr {
 func (as *AddressSpace) mapPage(vp uint64) {
 	if _, ok := as.pages[vp]; ok {
 		return
+	}
+	if as.tr != nil {
+		as.tr.Point("mem", "page_map", uint64(len(as.pages)), trace.PidMem, 0, nil)
 	}
 	var frame uint64
 	if as.frameStride == 1 {

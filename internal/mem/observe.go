@@ -1,0 +1,30 @@
+package mem
+
+import (
+	"qei/internal/metrics"
+	"qei/internal/trace"
+)
+
+// RegisterMetrics publishes physical-memory occupancy under r.
+func (p *Physical) RegisterMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	r.RegisterFunc("frames_allocated", p.FramesAllocated)
+}
+
+// RegisterMetrics publishes address-space shape under r.
+func (as *AddressSpace) RegisterMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	r.RegisterFunc("mapped_pages", func() uint64 { return uint64(as.MappedPages()) })
+	r.RegisterFunc("brk", func() uint64 { return uint64(as.brk) })
+}
+
+// SetTracer attaches the unified tracer; every subsequent page mapping
+// emits a "page_map" instant on the memory track. Page mappings happen
+// during workload setup, before simulated time starts, so they are
+// stamped with a mapping sequence number rather than a cycle — they
+// cluster at the left edge of the timeline.
+func (as *AddressSpace) SetTracer(tr *trace.Tracer) { as.tr = tr }

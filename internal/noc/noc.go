@@ -13,6 +13,8 @@ package noc
 import (
 	"fmt"
 	"sort"
+
+	"qei/internal/trace"
 )
 
 // Stop identifies a network stop (tile) on the mesh.
@@ -55,6 +57,10 @@ type Mesh struct {
 	linkBytes map[link]uint64
 	// totalCycles tracks the window over which utilization is measured.
 	windowCycles uint64
+	// sends counts transfers for the metrics registry.
+	sends uint64
+	// tr receives transfer spans from SendAt; nil keeps Send trace-free.
+	tr *trace.Tracer
 }
 
 // New creates a mesh with the given configuration.
@@ -136,6 +142,7 @@ func (m *Mesh) path(a, b Stop) []Stop {
 // returns its one-way latency. Timing is returned, not scheduled; callers
 // compose it with the sim engine.
 func (m *Mesh) Send(a, b Stop, bytes uint64) uint64 {
+	m.sends++
 	route := m.path(a, b)
 	for i := 0; i+1 < len(route); i++ {
 		m.linkBytes[link{route[i], route[i+1]}] += bytes

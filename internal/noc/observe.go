@@ -1,0 +1,35 @@
+package noc
+
+import (
+	"qei/internal/metrics"
+	"qei/internal/trace"
+)
+
+// RegisterMetrics publishes mesh traffic counters under r, pull-based:
+// total transfers, total bytes across all links, and the mean link
+// utilization in milli-units (fixed-point, so snapshots stay uint64 and
+// merge deterministically).
+func (m *Mesh) RegisterMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	r.RegisterFunc("sends", func() uint64 { return m.sends })
+	r.RegisterFunc("total_bytes", m.TotalBytes)
+	r.RegisterFunc("mean_util_milli", func() uint64 {
+		return uint64(m.MeanUtilization() * 1000)
+	})
+}
+
+// SetTracer attaches the unified tracer; SendAt emits transfer spans on
+// it. A nil tracer keeps transfers trace-free.
+func (m *Mesh) SetTracer(tr *trace.Tracer) { m.tr = tr }
+
+// SendAt is Send with the injection cycle threaded through: the transfer
+// appears in the trace as an "xfer" span on the NoC track, with the
+// source stop as the tid so concurrent transfers from different stops
+// stay on separate lanes.
+func (m *Mesh) SendAt(a, b Stop, bytes, at uint64) uint64 {
+	lat := m.Send(a, b, bytes)
+	m.tr.Span("noc", "xfer", at, at+lat, trace.PidNoC, int(a), nil)
+	return lat
+}

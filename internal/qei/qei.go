@@ -25,9 +25,11 @@ import (
 	"qei/internal/isa"
 	"qei/internal/machine"
 	"qei/internal/mem"
+	"qei/internal/metrics"
 	"qei/internal/noc"
 	"qei/internal/scheme"
 	"qei/internal/tlb"
+	"qei/internal/trace"
 )
 
 // Sentinel errors for the architectural failure modes software is
@@ -157,6 +159,11 @@ type Accelerator struct {
 	// traceOn/spans collect query timelines for ExportChromeTrace.
 	traceOn bool
 	spans   []Span
+	// tr is the unified event tracer (SetTracer); nil disables emission.
+	tr *trace.Tracer
+	// remoteOps are per-slice cha<i>/cmp/remote_ops counters
+	// (RegisterMetrics); nil when no registry is attached.
+	remoteOps []*metrics.Counter
 
 	stats Stats
 }
@@ -214,6 +221,8 @@ func (a *Accelerator) ViewForCore(core int) *Accelerator {
 		inst:       a.inst,
 		remoteComp: a.remoteComp,
 		localComp:  a.localComp,
+		tr:         a.tr,
+		remoteOps:  a.remoteOps,
 		results:    make(map[uint64]Result),
 		nbInFlight: make(map[uint64]nbRecord),
 	}
@@ -287,9 +296,9 @@ func (a *Accelerator) firstDataAddr(q *isa.QueryDesc) mem.VAddr {
 // long-latency load (Sec. IV-C).
 func (a *Accelerator) IssueBlocking(q *isa.QueryDesc, issue uint64) (uint64, error) {
 	ins := a.pickInstance(q)
-	arrive := issue + a.p.PortOverhead + a.requestHop(ins, 16)
+	arrive := issue + a.p.PortOverhead + a.requestHop(ins, 16, issue+a.p.PortOverhead)
 	finish := a.execute(ins, q, arrive)
-	ret := finish + a.p.ReplyOverhead + a.responseHop(ins, 16)
+	ret := finish + a.p.ReplyOverhead + a.responseHop(ins, 16, finish+a.p.ReplyOverhead)
 	if r, ok := a.results[q.Tag]; ok {
 		r.Done = ret
 		a.results[q.Tag] = r
@@ -305,7 +314,7 @@ func (a *Accelerator) IssueNonBlocking(q *isa.QueryDesc, issue uint64) (uint64, 
 		return 0, fmt.Errorf("qei: non-blocking query %d without result address", q.Tag)
 	}
 	ins := a.pickInstance(q)
-	arrive := issue + a.p.PortOverhead + a.requestHop(ins, 24)
+	arrive := issue + a.p.PortOverhead + a.requestHop(ins, 24, issue+a.p.PortOverhead)
 	accepted := arrive + 1
 	a.stats.NonBlocking++
 	finish := a.execute(ins, q, arrive)
@@ -387,25 +396,27 @@ func putLE(b []byte, v uint64) {
 }
 
 // requestHop charges the NoC transfer from the serving core to the
-// instance (zero-distance for Core-integrated, whose QST sits by the L2).
-func (a *Accelerator) requestHop(ins *instance, bytes uint64) uint64 {
+// instance at cycle at (zero-distance for Core-integrated, whose QST
+// sits by the L2).
+func (a *Accelerator) requestHop(ins *instance, bytes, at uint64) uint64 {
 	if a.p.Kind == scheme.CoreIntegrated {
 		return 0
 	}
-	return a.m.Mesh.Send(a.m.Hier.CoreStop(a.core), ins.stop, bytes)
+	return a.m.Mesh.SendAt(a.m.Hier.CoreStop(a.core), ins.stop, bytes, at)
 }
 
-func (a *Accelerator) responseHop(ins *instance, bytes uint64) uint64 {
+func (a *Accelerator) responseHop(ins *instance, bytes, at uint64) uint64 {
 	if a.p.Kind == scheme.CoreIntegrated {
 		return 0
 	}
-	return a.m.Mesh.Send(ins.stop, a.m.Hier.CoreStop(a.core), bytes)
+	return a.m.Mesh.SendAt(ins.stop, a.m.Hier.CoreStop(a.core), bytes, at)
 }
 
-// translate resolves a virtual address on the scheme's translation path,
-// using the per-query page cache (QEI keeps the current translation in
-// the QST entry, so consecutive lines on one page translate once).
-func (a *Accelerator) translate(ins *instance, addr mem.VAddr, pageCache map[uint64]mem.PAddr) (mem.PAddr, uint64, error) {
+// translate resolves a virtual address on the scheme's translation path
+// starting at cycle at, using the per-query page cache (QEI keeps the
+// current translation in the QST entry, so consecutive lines on one page
+// translate once).
+func (a *Accelerator) translate(ins *instance, addr mem.VAddr, at uint64, pageCache map[uint64]mem.PAddr) (mem.PAddr, uint64, error) {
 	page := addr.Page()
 	if base, ok := pageCache[page]; ok {
 		return base | mem.PAddr(addr.Offset()), 0, nil
@@ -415,15 +426,16 @@ func (a *Accelerator) translate(ins *instance, addr mem.VAddr, pageCache map[uin
 	var err error
 	switch a.p.Translation {
 	case scheme.TransL2TLB:
-		pa, lat, err = a.m.TLB[a.core].TranslateL2(addr)
+		pa, lat, err = a.m.TLB[a.core].TranslateL2At(addr, at)
 	case scheme.TransDedicated:
 		if hit, hl := ins.tlb.Lookup(addr); hit {
 			pa, err = a.m.AS.Translate(addr)
 			lat = hl
 		} else {
 			var wl uint64
-			pa, wl, err = ins.walker.Walk(addr)
-			lat = ins.tlb.Config().HitLatency + wl
+			probe := ins.tlb.Config().HitLatency
+			pa, wl, err = ins.walker.WalkAt(addr, at+probe)
+			lat = probe + wl
 			if err == nil {
 				ins.tlb.Insert(addr)
 			}
@@ -435,7 +447,7 @@ func (a *Accelerator) translate(ins *instance, addr mem.VAddr, pageCache map[uin
 		// performance benefits").
 		const mmuPortCost = 12
 		rt := a.m.Mesh.RoundTrip(ins.stop, a.m.Hier.CoreStop(a.core)) + mmuPortCost
-		pa, lat, err = a.m.TLB[a.core].TranslateL2(addr)
+		pa, lat, err = a.m.TLB[a.core].TranslateL2At(addr, at+rt)
 		lat += rt
 	}
 	if err != nil {
@@ -452,16 +464,16 @@ func (a *Accelerator) dataAccess(ins *instance, addr mem.VAddr, kind cache.Acces
 	if pageCache == nil {
 		pageCache = map[uint64]mem.PAddr{}
 	}
-	pa, tlat, err := a.translate(ins, addr, pageCache)
+	pa, tlat, err := a.translate(ins, addr, at, pageCache)
 	if err != nil {
 		return tlat, err
 	}
 	var r cache.Result
 	switch a.p.Data {
 	case scheme.DataViaL2:
-		r = a.m.Hier.L2Access(a.core, pa, kind)
+		r = a.m.Hier.L2AccessAt(a.core, pa, kind, at+tlat)
 	case scheme.DataViaLLC:
-		r = a.m.Hier.LLCAccessFrom(ins.stop, pa, kind)
+		r = a.m.Hier.LLCAccessFromAt(ins.stop, pa, kind, at+tlat)
 	}
 	lat := tlat + r.Latency + a.p.ExtraDataLatency
 	a.stats.DataAccessCycles += r.Latency + a.p.ExtraDataLatency
@@ -728,33 +740,38 @@ func (a *Accelerator) coveredByStaged(op cfa.Op, fetched map[uint64]bool) bool {
 // in-place from the LLC, and only the outcome returns (Sec. V-A).
 // keyBytes is the size of the key payload carried by the request.
 func (a *Accelerator) remoteCompare(ins *instance, op cfa.Op, t uint64, pageCache map[uint64]mem.PAddr, keyBytes uint64, cycles uint64) (uint64, error) {
-	pa, tlat, err := a.translate(ins, op.Addr, pageCache)
+	pa, tlat, err := a.translate(ins, op.Addr, t, pageCache)
 	if err != nil {
 		return tlat, err
 	}
 	a.stats.RemoteCompares++
 	slice := a.m.Hier.LLC().SliceFor(pa)
 	sliceStop := a.m.Hier.LLC().StopFor(pa)
+	if a.remoteOps != nil {
+		a.remoteOps[slice].Inc()
+	}
 	// Request carries the remote micro-op + the key chunk to compare.
-	reqLat := a.m.Mesh.Send(ins.stop, sliceStop, 16+keyBytes)
+	reqLat := a.m.Mesh.SendAt(ins.stop, sliceStop, 16+keyBytes, t+tlat)
 	arrive := t + tlat + reqLat
 	// The CHA comparator pulls the operand lines from its own slice.
 	var dataLat uint64
 	first := uint64(op.Addr.Line())
 	last := uint64((op.Addr + mem.VAddr(op.Bytes) - 1).Line())
 	for line := first; line <= last; line += mem.LineSize {
-		lpa, _, err := a.translate(ins, mem.VAddr(line), pageCache)
+		lpa, _, err := a.translate(ins, mem.VAddr(line), arrive, pageCache)
 		if err != nil {
 			return 0, err
 		}
-		r := a.m.Hier.LLCAccessLocal(sliceStop, lpa, cache.Read)
+		r := a.m.Hier.LLCAccessLocalAt(sliceStop, lpa, cache.Read, arrive)
 		if r.Latency > dataLat {
 			dataLat = r.Latency
 		}
 	}
 	startC := bookComparator(a.remoteComp[slice], arrive+dataLat, cycles)
+	// The CHA-resident comparison itself, on the owning slice's track.
+	a.tr.Span("cha", "remote_cmp", startC, startC+cycles, trace.PidCHA(slice), 0, nil)
 	// Only the 16 B outcome returns — the data stays in the LLC.
-	respLat := a.m.Mesh.Send(sliceStop, ins.stop, 16)
+	respLat := a.m.Mesh.SendAt(sliceStop, ins.stop, 16, startC+cycles)
 	done := startC + cycles + respLat
 	return done - t, nil
 }

@@ -2,16 +2,17 @@ package qei
 
 import (
 	"fmt"
-	"sort"
-	"strings"
+
+	"qei/internal/trace"
 )
 
-// Query-timeline tracing. When enabled, the accelerator records one span
-// per query (issue to completion, annotated with its QST instance), and
-// ExportChromeTrace renders the spans in the Chrome tracing JSON format
-// (chrome://tracing, Perfetto) — making the QST's out-of-order overlap
-// visible: ten staggered spans per instance, exactly the pipelined-CFA
-// picture of Sec. IV-B.
+// Query-timeline tracing. The accelerator's per-query spans ride on the
+// simulator-wide tracer (internal/trace): when one is attached via
+// SetTracer, every query emits a span on its QST instance's track, CHA
+// remote comparisons emit spans on the owning slice's track, and
+// dedicated-TLB page walks emit spans from the tlb package — all on one
+// interleaved timeline. EnableTracing/Spans remain as a lightweight
+// span-only collection mode for callers that want just the QST picture.
 
 // Span is one traced query.
 type Span struct {
@@ -29,6 +30,18 @@ func (a *Accelerator) EnableTracing() {
 	a.spans = nil
 }
 
+// SetTracer attaches the unified event tracer: query spans, CHA
+// remote-compare spans, and dedicated-TLB page walks are emitted on it.
+// A nil tracer detaches.
+func (a *Accelerator) SetTracer(tr *trace.Tracer) {
+	a.tr = tr
+	for i, ins := range a.inst {
+		if ins.walker != nil {
+			ins.walker.SetTracer(tr, trace.PidQST(i), 1)
+		}
+	}
+}
+
 // Spans returns the collected spans in issue order.
 func (a *Accelerator) Spans() []Span {
 	out := make([]Span, len(a.spans))
@@ -40,18 +53,23 @@ func (a *Accelerator) recordSpan(s Span) {
 	if a.traceOn {
 		a.spans = append(a.spans, s)
 	}
+	if a.tr != nil {
+		name := "query"
+		if s.Fault {
+			name = "query!EXCEPTION"
+		}
+		a.tr.Span("qst", name, s.Start, s.End, trace.PidQST(s.Instance), s.Slot, nil)
+	}
 }
 
-// ExportChromeTrace renders spans as a Chrome tracing JSON document.
-// Rows (tid) are QST slots within instances (pid), so the viewer shows
-// each entry's occupancy timeline.
+// ExportChromeTrace renders spans as a Chrome trace-event JSON document
+// (the {"traceEvents":[...]} object form Perfetto and chrome://tracing
+// accept), via the shared exporter in internal/trace. Rows (tid) are QST
+// slots within instances (pid), so the viewer shows each entry's
+// occupancy timeline; faulting queries carry an !EXCEPTION suffix.
 func ExportChromeTrace(spans []Span) string {
-	sorted := make([]Span, len(spans))
-	copy(sorted, spans)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
-	var b strings.Builder
-	b.WriteString("[\n")
-	for i, s := range sorted {
+	evs := make([]trace.Event, 0, len(spans))
+	for _, s := range spans {
 		name := fmt.Sprintf("query-%d", s.Tag)
 		if s.Fault {
 			name += "!EXCEPTION"
@@ -60,13 +78,11 @@ func ExportChromeTrace(spans []Span) string {
 		if dur == 0 {
 			dur = 1
 		}
-		fmt.Fprintf(&b, `  {"name":%q,"cat":"qst","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d}`,
-			name, s.Start, dur, s.Instance, s.Slot)
-		if i != len(sorted)-1 {
-			b.WriteString(",")
-		}
-		b.WriteString("\n")
+		evs = append(evs, trace.Event{
+			Name: name, Cat: "qst", Phase: trace.Complete,
+			TS: s.Start, Dur: dur,
+			Pid: trace.PidQST(s.Instance), Tid: s.Slot,
+		})
 	}
-	b.WriteString("]\n")
-	return b.String()
+	return trace.ExportChromeTrace(evs)
 }

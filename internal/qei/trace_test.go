@@ -2,6 +2,8 @@ package qei
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -49,16 +51,19 @@ func TestTracingSpansAndExport(t *testing.T) {
 		t.Fatal("no overlapping spans — QST parallelism invisible")
 	}
 
-	// The export must be valid JSON in the Chrome trace array form.
+	// The export must be valid JSON in the Chrome trace-event object form
+	// ({"traceEvents":[...]}, accepted by chrome://tracing and Perfetto).
 	doc := ExportChromeTrace(spans)
-	var parsed []map[string]any
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
 	if err := json.Unmarshal([]byte(doc), &parsed); err != nil {
 		t.Fatalf("trace not valid JSON: %v\n%s", err, doc)
 	}
-	if len(parsed) != 20 {
-		t.Fatalf("trace has %d events", len(parsed))
+	if len(parsed.TraceEvents) != 20 {
+		t.Fatalf("trace has %d events", len(parsed.TraceEvents))
 	}
-	if parsed[0]["ph"] != "X" {
+	if parsed.TraceEvents[0]["ph"] != "X" {
 		t.Fatal("events must be complete spans (ph=X)")
 	}
 }
@@ -76,6 +81,46 @@ func TestTracingFaultMarked(t *testing.T) {
 	}
 	if !strings.Contains(ExportChromeTrace(spans), "EXCEPTION") {
 		t.Fatal("fault not visible in export")
+	}
+}
+
+// TestExportChromeTraceGolden pins the exported bytes for a fixed span
+// set: field ordering, the qst category, PidQST track mapping, and the
+// EXCEPTION marker must not drift. Regenerate with UPDATE_GOLDEN=1.
+func TestExportChromeTraceGolden(t *testing.T) {
+	spans := []Span{
+		{Tag: 7, Start: 40, End: 95, Instance: 1, Slot: 4},
+		{Tag: 3, Start: 10, End: 60, Instance: 0, Slot: 2},
+		{Tag: 9, Start: 25, End: 25, Instance: 0, Slot: 3, Fault: true},
+	}
+	got := ExportChromeTrace(spans)
+
+	golden := filepath.Join("testdata", "chrome_trace_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (set UPDATE_GOLDEN=1 to generate): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("export drifted from golden file\n--- got:\n%s--- want:\n%s", got, want)
+	}
+
+	// The golden document must itself satisfy the trace-event schema.
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(got), &parsed); err != nil {
+		t.Fatalf("golden export not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 3 {
+		t.Fatalf("golden export has %d events, want 3", len(parsed.TraceEvents))
 	}
 }
 

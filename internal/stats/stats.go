@@ -72,13 +72,33 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values (header first).
+// CSVField escapes one cell per RFC 4180: fields containing commas,
+// double quotes, or line breaks are wrapped in double quotes with
+// embedded quotes doubled; everything else passes through unchanged.
+func CSVField(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+}
+
+// CSVRow renders one escaped, comma-joined CSV record (no newline).
+func CSVRow(cells []string) string {
+	esc := make([]string, len(cells))
+	for i, c := range cells {
+		esc[i] = CSVField(c)
+	}
+	return strings.Join(esc, ",")
+}
+
+// CSV renders the table as comma-separated values (header first),
+// escaping cells per RFC 4180.
 func (t *Table) CSV() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.headers, ","))
+	b.WriteString(CSVRow(t.headers))
 	b.WriteByte('\n')
 	for _, r := range t.rows {
-		b.WriteString(strings.Join(r, ","))
+		b.WriteString(CSVRow(r))
 		b.WriteByte('\n')
 	}
 	return b.String()

@@ -43,6 +43,39 @@ func TestTableCSV(t *testing.T) {
 	}
 }
 
+func TestCSVField(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"", ""},
+		{"a,b", "\"a,b\""},
+		{"say \"hi\"", "\"say \"\"hi\"\"\""},
+		{"two\nlines", "\"two\nlines\""},
+		{"cr\rhere", "\"cr\rhere\""},
+		{"mix,\"q\"\nall", "\"mix,\"\"q\"\"\nall\""},
+	}
+	for _, c := range cases {
+		if got := CSVField(c.in); got != c.want {
+			t.Errorf("CSVField(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTableCSVEscapesCells(t *testing.T) {
+	tab := NewTable("x", "name,with,commas", "b")
+	tab.AddRow("v\"q\"", "line\nbreak")
+	csv := tab.CSV()
+	want := "\"name,with,commas\",b\n\"v\"\"q\"\"\",\"line\nbreak\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestCSVRow(t *testing.T) {
+	if got := CSVRow([]string{"a", "b,c", "d"}); got != "a,\"b,c\",d" {
+		t.Fatalf("CSVRow = %q", got)
+	}
+}
+
 func TestSpeedup(t *testing.T) {
 	if Speedup(100, 25) != 4 {
 		t.Fatal("Speedup(100,25) != 4")

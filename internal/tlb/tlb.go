@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"qei/internal/mem"
+	"qei/internal/trace"
 )
 
 // Config describes a TLB's geometry and timing.
@@ -142,6 +143,12 @@ type Walker struct {
 	walks        uint64
 	faults       uint64
 	totalLatency uint64
+
+	// tr (with pid/tid, see SetTracer) receives page-walk spans from
+	// WalkAt; nil keeps walks trace-free.
+	tr  *trace.Tracer
+	pid int
+	tid int
 }
 
 // NewWalker creates a walker over as with the given per-level access cost.
@@ -151,8 +158,13 @@ func NewWalker(as *mem.AddressSpace, perLevelLatency uint64) *Walker {
 
 // Walk translates a, returning the physical address, the walk latency,
 // and a fault if the page is unmapped (a faulting walk still traverses
-// all levels before discovering the hole).
+// all levels before discovering the hole). WalkAt is the cycle-stamped
+// variant that also emits a trace span.
 func (w *Walker) Walk(a mem.VAddr) (mem.PAddr, uint64, error) {
+	return w.walk(a)
+}
+
+func (w *Walker) walk(a mem.VAddr) (mem.PAddr, uint64, error) {
 	w.walks++
 	lat := uint64(w.as.WalkLevels()) * w.perLevel
 	w.totalLatency += lat

@@ -1,0 +1,29 @@
+package trace
+
+// Track identity conventions shared by every instrumented component, so
+// one exported trace lays out consistently in Perfetto:
+//
+//	pid 0..99    core tiles (pid = core index); tids per TidCore*
+//	pid 100..199 CHA / LLC slices (PidCHA + slice index)
+//	pid 200      the mesh NoC (tid = source stop)
+//	pid 300      memory system (page mapping, DRAM)
+//	pid 400..    QST accelerator instances (PidQST + instance; tid = slot)
+const (
+	PidCHABase = 100
+	PidNoC     = 200
+	PidMem     = 300
+	PidQSTBase = 400
+)
+
+// Tids within a core tile's pid.
+const (
+	TidCorePipe = 0 // pipeline events: queries, mispredicts
+	TidCoreMem  = 1 // cache-hierarchy accesses
+	TidCoreTLB  = 2 // translation: TLB misses, page walks
+)
+
+// PidCHA returns the pid of LLC slice / CHA i.
+func PidCHA(slice int) int { return PidCHABase + slice }
+
+// PidQST returns the pid of accelerator instance i.
+func PidQST(instance int) int { return PidQSTBase + instance }

@@ -22,8 +22,10 @@ import (
 	"qei/internal/isa"
 	"qei/internal/machine"
 	"qei/internal/mem"
+	"qei/internal/metrics"
 	"qei/internal/qei"
 	"qei/internal/scheme"
+	"qei/internal/trace"
 )
 
 // Probe is one data-structure lookup within a request.
@@ -114,6 +116,10 @@ type Run struct {
 	// window, filled when the run used WithNoCWindow.
 	PeakLinkUtil float64
 	MeanUtil     float64
+	// Metrics is the registry snapshot taken at the end of the run when
+	// WithMetrics attached one. It covers the whole run including any
+	// warmup pass (component counters are cumulative).
+	Metrics metrics.Snapshot
 }
 
 // QueriesPerKilocycle is the throughput metric used by Fig. 9/10.
@@ -131,6 +137,19 @@ type runCfg struct {
 	warmup   bool
 	batch    int
 	nocReset bool
+	reg      *metrics.Registry
+	tr       *trace.Tracer
+}
+
+// attach wires the run's machine (and, for accelerated runs, the
+// accelerator) into the configured observability sinks; both may be nil.
+func (c *runCfg) attach(m *machine.Machine, accel *qei.Accelerator) {
+	if accel != nil {
+		accel.RegisterMetrics(c.reg)
+		accel.SetTracer(c.tr)
+		return
+	}
+	m.AttachObservability(c.reg, c.tr)
 }
 
 // WithWarmup plays the request stream once before the measured pass, so
@@ -151,6 +170,19 @@ func WithBatch(n int) RunOption {
 // window only (implies a warmup pass).
 func WithNoCWindow() RunOption {
 	return func(c *runCfg) { c.warmup = true; c.nocReset = true }
+}
+
+// WithMetrics attaches a metrics registry: every component of the run's
+// machine (and the accelerator, for QEI runs) registers its counters
+// into reg, and Run.Metrics carries reg's final snapshot.
+func WithMetrics(reg *metrics.Registry) RunOption {
+	return func(c *runCfg) { c.reg = reg }
+}
+
+// WithTrace attaches the unified event tracer: all components emit
+// cycle-stamped events into tr during the run.
+func WithTrace(tr *trace.Tracer) RunOption {
+	return func(c *runCfg) { c.tr = tr }
 }
 
 // memSnapshot captures machine-wide memory-system counters for delta
@@ -233,6 +265,7 @@ func RunBaseline(bench Benchmark, mode Mode, opts ...RunOption) (Run, error) {
 		o(&cfg)
 	}
 	m := machine.NewDefault()
+	cfg.attach(m, nil)
 	buildStart := m.AS.Brk()
 	plan, err := bench.Build(m)
 	if err != nil {
@@ -290,6 +323,7 @@ func RunBaseline(bench Benchmark, mode Mode, opts ...RunOption) (Run, error) {
 	run.Core = core.Stats().Sub(startStats)
 	m.Hier.Mesh().ObserveWindow(core.Now())
 	applyMemoryDelta(&run, startMem, snapshotMemory(m))
+	run.Metrics = cfg.reg.Snapshot()
 	return run, nil
 }
 
@@ -307,6 +341,7 @@ func RunQEIWithParams(bench Benchmark, params scheme.Params, mode Mode, opts ...
 		o(&cfg)
 	}
 	m := machine.NewDefault()
+	cfg.attach(m, nil)
 	buildStart := m.AS.Brk()
 	plan, err := bench.Build(m)
 	if err != nil {
@@ -314,6 +349,7 @@ func RunQEIWithParams(bench Benchmark, params scheme.Params, mode Mode, opts ...
 	}
 	buildEnd := m.AS.Brk()
 	accel := qei.New(m, params, cfa.DefaultRegistry(), 0)
+	cfg.attach(m, accel)
 	core := m.NewCore(0, accel)
 	run := Run{Name: plan.Name, Mode: mode, Scheme: params.Kind.String()}
 	tag := uint64(0)
@@ -437,6 +473,7 @@ func RunQEIWithParams(bench Benchmark, params scheme.Params, mode Mode, opts ...
 		m.Hier.Mesh().ObserveWindow(endCycle)
 	}
 	applyMemoryDelta(&run, startMem, snapshotMemory(m))
+	run.Metrics = cfg.reg.Snapshot()
 	return run, nil
 }
 
@@ -455,6 +492,7 @@ func RunQEINonBlocking(bench Benchmark, kind scheme.Kind, batch int, opts ...Run
 		batch = 32
 	}
 	m := machine.NewDefault()
+	cfg.attach(m, nil)
 	buildStart := m.AS.Brk()
 	plan, err := bench.Build(m)
 	if err != nil {
@@ -462,6 +500,7 @@ func RunQEINonBlocking(bench Benchmark, kind scheme.Kind, batch int, opts ...Run
 	}
 	buildEnd := m.AS.Brk()
 	accel := qei.New(m, scheme.ForKind(kind), cfa.DefaultRegistry(), 0)
+	cfg.attach(m, accel)
 	core := m.NewCore(0, accel)
 	run := Run{Name: plan.Name, Mode: Full, Scheme: kind.String() + "+NB"}
 
@@ -571,6 +610,7 @@ func RunQEINonBlocking(bench Benchmark, kind scheme.Kind, batch int, opts ...Run
 	run.Accel = &asd
 	m.Hier.Mesh().ObserveWindow(endCycle)
 	applyMemoryDelta(&run, startMem, snapshotMemory(m))
+	run.Metrics = cfg.reg.Snapshot()
 	return run, nil
 }
 

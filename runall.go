@@ -2,17 +2,22 @@ package qei
 
 import (
 	"context"
+	"sync"
 
+	"qei/internal/metrics"
 	"qei/internal/runner"
+	"qei/internal/workload"
 )
 
 // ExpOption configures how an experiment executes (not what it
-// measures): cancellation and worker-pool parallelism.
+// measures): cancellation, worker-pool parallelism, and metric
+// collection.
 type ExpOption func(*expConfig)
 
 type expConfig struct {
-	ctx context.Context
-	par int
+	ctx       context.Context
+	par       int
+	collector *MetricsCollector
 }
 
 func expConfigFor(opts []ExpOption) expConfig {
@@ -37,6 +42,65 @@ func WithContext(ctx context.Context) ExpOption {
 func WithParallelism(n int) ExpOption {
 	return func(c *expConfig) { c.par = n }
 }
+
+// MetricsCollector accumulates the metric snapshots of an experiment's
+// jobs. Each job simulates on its own machine with its own registry
+// (registries are single-goroutine); the collector merges the finished
+// snapshots under a mutex. Merging is a commutative sum by name, so the
+// merged result is identical at any worker count and completion order.
+type MetricsCollector struct {
+	mu    sync.Mutex
+	snaps []metrics.Snapshot
+}
+
+// NewMetricsCollector creates an empty collector for
+// WithMetricsCollector.
+func NewMetricsCollector() *MetricsCollector { return &MetricsCollector{} }
+
+// add records one job's snapshot; safe for concurrent workers and a nil
+// collector.
+func (c *MetricsCollector) add(s metrics.Snapshot) {
+	if c == nil || len(s) == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.snaps = append(c.snaps, s)
+	c.mu.Unlock()
+}
+
+// Merged sums every collected snapshot and returns the totals sorted by
+// metric name.
+func (c *MetricsCollector) Merged() []Metric {
+	c.mu.Lock()
+	snaps := append([]metrics.Snapshot(nil), c.snaps...)
+	c.mu.Unlock()
+	merged := metrics.Merge(snaps...)
+	out := make([]Metric, 0, len(merged))
+	for _, sm := range merged {
+		out = append(out, Metric{Name: sm.Name, Value: sm.Value})
+	}
+	return out
+}
+
+// String renders the merged totals one "name value" line per metric.
+func (c *MetricsCollector) String() string {
+	c.mu.Lock()
+	snaps := append([]metrics.Snapshot(nil), c.snaps...)
+	c.mu.Unlock()
+	return metrics.Merge(snaps...).String()
+}
+
+// WithMetricsCollector attaches a collector to an experiment run: every
+// job that supports metrics simulates with its own registry and merges
+// its end-of-run snapshot into c. Read the totals with c.Merged() after
+// the experiment returns.
+func WithMetricsCollector(c *MetricsCollector) ExpOption {
+	return func(cfg *expConfig) { cfg.collector = c }
+}
+
+// collect files a finished run's snapshot with the attached collector,
+// if any.
+func (c expConfig) collect(r workload.Run) { c.collector.add(r.Metrics) }
 
 // expRows fans one job per item across the runner pool; each job
 // returns its group of table rows, and the groups are concatenated in
@@ -86,6 +150,9 @@ func Experiments() []Experiment {
 		{Name: "tail", Title: "open-loop latency percentiles", Run: TailLatency},
 		{Name: "scale", Title: "multi-core scalability", Run: Scalability},
 		{Name: "noc", Title: "NoC bandwidth utilization", Run: NoCUtilization},
+		// bench must stay last: earlier entries are indexed by position in
+		// tests and scripts.
+		{Name: "bench", Title: "machine-readable benchmark matrix", Run: BenchMatrix},
 	}
 }
 

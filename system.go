@@ -8,8 +8,10 @@ import (
 	"qei/internal/isa"
 	"qei/internal/machine"
 	"qei/internal/mem"
+	"qei/internal/metrics"
 	"qei/internal/qei"
 	"qei/internal/scheme"
+	"qei/internal/trace"
 )
 
 // Scheme selects how the accelerator is integrated into the CPU
@@ -109,6 +111,10 @@ type System struct {
 	seed  int64
 	now   uint64
 	tag   uint64
+	// mreg/tracer are the observability sinks created by
+	// WithMetrics/WithTrace; nil when the respective option is off.
+	mreg   *metrics.Registry
+	tracer *trace.Tracer
 }
 
 // Option configures a System at construction.
@@ -117,6 +123,8 @@ type Option func(*sysConfig)
 type sysConfig struct {
 	qstSize int
 	tracing bool
+	metrics bool
+	trace   bool
 	seed    int64
 }
 
@@ -139,6 +147,22 @@ func WithSeed(seed int64) Option {
 	return func(c *sysConfig) { c.seed = seed }
 }
 
+// WithMetrics attaches a simulator-wide metrics registry: every
+// component (cores, caches, TLBs, NoC, memory, accelerator) registers
+// its counters under component-path names, and Metrics() reads them.
+// Off by default; the disabled path costs nothing.
+func WithMetrics() Option {
+	return func(c *sysConfig) { c.metrics = true }
+}
+
+// WithTrace attaches the unified cycle-stamped event tracer: all
+// components emit events (query spans, cache fills, page walks, NoC
+// transfers, remote compares) onto one timeline, and ExportTrace renders
+// it as Chrome trace-event JSON. Off by default.
+func WithTrace() Option {
+	return func(c *sysConfig) { c.trace = true }
+}
+
 // NewSystem builds a 24-core machine (Tab. II configuration) with a QEI
 // accelerator in the given integration scheme.
 func NewSystem(s Scheme, opts ...Option) *System {
@@ -151,14 +175,27 @@ func NewSystem(s Scheme, opts ...Option) *System {
 		p.QSTEntriesPerInstance = cfg.qstSize
 	}
 	m := machine.NewDefault()
+	var mreg *metrics.Registry
+	if cfg.metrics {
+		mreg = metrics.NewRegistry()
+	}
+	var tracer *trace.Tracer
+	if cfg.trace {
+		tracer = trace.New(0)
+	}
+	m.AttachObservability(mreg, tracer)
 	reg := cfa.DefaultRegistry()
 	sys := &System{
-		m:     m,
-		reg:   reg,
-		accel: qei.New(m, p, reg, 0),
-		sch:   s,
-		seed:  cfg.seed,
+		m:      m,
+		reg:    reg,
+		accel:  qei.New(m, p, reg, 0),
+		sch:    s,
+		seed:   cfg.seed,
+		mreg:   mreg,
+		tracer: tracer,
 	}
+	sys.accel.RegisterMetrics(mreg)
+	sys.accel.SetTracer(tracer)
 	if cfg.tracing {
 		sys.accel.EnableTracing()
 	}
@@ -434,10 +471,39 @@ func (s *System) Poll(h AsyncHandle) (Result, error) {
 // out-of-order overlap visible — the pipelined-CFA picture of Sec. IV-B.
 func (s *System) EnableTracing() { s.accel.EnableTracing() }
 
-// ExportTrace returns the recorded query spans as a Chrome tracing JSON
-// document.
+// ExportTrace returns the recorded trace as a Chrome trace-event JSON
+// document. With WithTrace it renders the unified cycle-stamped timeline
+// (every component's events); otherwise it falls back to the legacy
+// query-span export driven by EnableTracing/WithTracing.
 func (s *System) ExportTrace() string {
+	if s.tracer != nil {
+		return s.tracer.Export()
+	}
 	return qei.ExportChromeTrace(s.accel.Spans())
+}
+
+// Metric is one named simulator counter, read by Metrics().
+type Metric struct {
+	// Name is the component-path metric name, e.g. "core0/l1d/misses" or
+	// "qei/cmp/remote".
+	Name string
+	// Value is the counter's reading (fixed-point milli units for the few
+	// *_milli metrics).
+	Value uint64
+}
+
+// Metrics snapshots every registered counter, sorted by name. It
+// returns nil unless the system was built WithMetrics.
+func (s *System) Metrics() []Metric {
+	if s.mreg == nil {
+		return nil
+	}
+	snap := s.mreg.Snapshot()
+	out := make([]Metric, 0, len(snap))
+	for _, sm := range snap {
+		out = append(out, Metric{Name: sm.Name, Value: sm.Value})
+	}
+	return out
 }
 
 // Interrupt models a context-switch interrupt hitting the core
