@@ -22,9 +22,15 @@ go test -race -timeout 90m ./...
 # harness still assembles and logs its table.
 go test -run '^$' -bench BenchmarkTab1 -benchtime 1x -short .
 
-# Zero-overhead guard: attaching metrics + tracing must not move a
-# single simulated cycle (deterministic cycle-count assertion — no
-# flaky wall-clock thresholds).
-go test -run '^TestObservabilityZeroCycleImpact$' -count=1 .
+# Zero-overhead guard: attaching metrics + tracing — and the disabled
+# fault-injection/watchdog/fallback apparatus — must not move a single
+# simulated cycle (deterministic cycle-count assertion — no flaky
+# wall-clock thresholds).
+go test -run '^(TestObservabilityZeroCycleImpact|TestFaultInjectionZeroCycleImpact)$' -count=1 .
+
+# Fault-injection smoke: a replayable chaos schedule through every
+# structure kind must resolve every query without panicking the
+# process (qeisim exits non-zero otherwise).
+go run ./cmd/qeisim -faults "7:flip=0.05,nocdelay=0.1,nocdrop=0.05,shootdown=0.1,spurious=0.05,evict=0.1"
 
 echo "ci: ok"

@@ -8,6 +8,13 @@
 //	       -scheme software|core|cha-tlb|cha-notlb|device-direct|device-indirect|all \
 //	       [-mode full|roi|nonroi] [-nb] [-scale small|full] [-warm] [-parallel N] \
 //	       [-metrics] [-trace out.json]
+//	qeisim -faults "7:flip=0.05,spurious=0.1"
+//
+// -faults skips the workload entirely and runs the fault-injection
+// chaos smoke: a replayable fault schedule driven through every
+// built-in structure kind via the public API, asserting that every
+// query resolves to a result, an architectural fault, or a software
+// fallback. It exits non-zero if any query fails to resolve.
 //
 // -scheme all runs the software baseline plus every integration scheme
 // and prints a side-by-side comparison, fanning the runs across
@@ -43,7 +50,13 @@ func main() {
 	parFlag := flag.Int("parallel", 0, "workers for -scheme all; 0 = GOMAXPROCS")
 	metricsFlag := flag.Bool("metrics", false, "print the full metric snapshot after the run")
 	traceFlag := flag.String("trace", "", "write the unified event trace to this file (Chrome trace-event JSON)")
+	faultsFlag := flag.String("faults", "", "run the fault-injection chaos smoke with this seed:kind=rate,... spec and exit")
 	flag.Parse()
+
+	if *faultsFlag != "" {
+		runFaultSmoke(*faultsFlag)
+		return
+	}
 
 	full := *scaleFlag == "full"
 	var bench workload.Benchmark

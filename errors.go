@@ -3,10 +3,11 @@ package qei
 import (
 	"errors"
 
+	"qei/internal/cfa"
 	"qei/internal/qei"
 )
 
-// Sentinel errors of the async query lifecycle. Callers branch with
+// Sentinel errors of the query lifecycle. Callers branch with
 // errors.Is; every error carrying per-query context wraps one of these.
 var (
 	// ErrQSTFull is returned by QueryAsync when every QST entry is
@@ -23,4 +24,21 @@ var (
 	// ErrUnknownHandle is returned by Wait and Poll for a handle this
 	// system never issued.
 	ErrUnknownHandle = errors.New("qei: unknown async handle")
+	// ErrQueryTimeout is carried by Result.Err when the per-query cycle
+	// budget watchdog (WithQueryCycleBudget) killed a stuck or looping
+	// CFA walk. Treat the structure as suspect; with WithFallback the
+	// query re-executes on the software path instead.
+	ErrQueryTimeout = qei.ErrQueryTimeout
+	// ErrStructCorrupt is carried by Result.Err when the accelerator
+	// found the guest structure inconsistent — a pointer into unmapped
+	// memory, a pointer cycle, or bytes the firmware could not interpret
+	// (Sec. IV-D surfaces these architecturally rather than wandering).
+	ErrStructCorrupt = qei.ErrStructCorrupt
+	// ErrFirmwareInvalid is returned by RegisterFirmware and
+	// ValidateFirmware for firmware that fails admission: reserved or
+	// colliding type codes, state counts outside 1..254, out-of-range
+	// micro-ops, or a program the validation probe could not drive to
+	// FirmwareDone. It also appears as Result.Err when registered
+	// firmware misbehaves at run time (panicking handler, oversized op).
+	ErrFirmwareInvalid = cfa.ErrInvalidProgram
 )

@@ -5,17 +5,10 @@
 // firmware update, with new state transition rules, can be applied to
 // support emerging data structures and query algorithms").
 //
-// The structure is a binary trie over address bits. Each 32-byte node:
-//
-//	offset 0:  child[0] pointer (8 B)
-//	offset 8:  child[1] pointer (8 B)
-//	offset 16: next-hop value (8 B)
-//	offset 24: has-route flag (8 B)
-//
-// A lookup walks one bit per level, remembering the deepest node with a
-// route — the longest matching prefix. Unlike the built-in exact-match
-// CFAs, the result is a best-effort match, which the firmware tracks in
-// the QST scratch fields.
+// The firmware itself lives in the lpmfw subpackage (importable by
+// tests and other programs); this demo builds a routing table in
+// simulated memory, routes packets through the accelerator, and checks
+// every answer against a host-side reference.
 package main
 
 import (
@@ -24,80 +17,8 @@ import (
 	"math/rand"
 
 	"qei"
+	"qei/examples/lpm_router/lpmfw"
 )
-
-// lpmType is the header type byte our firmware claims.
-const lpmType uint8 = 40
-
-// lpmWalk is the single walking state.
-const lpmWalk qei.FirmwareState = 1
-
-// lpmFirmware is the CFA for the binary LPM trie.
-type lpmFirmware struct{}
-
-// TypeCode implements qei.Firmware.
-func (lpmFirmware) TypeCode() uint8 { return lpmType }
-
-// Name implements qei.Firmware.
-func (lpmFirmware) Name() string { return "lpm" }
-
-// NumStates implements qei.Firmware.
-func (lpmFirmware) NumStates() int { return 2 }
-
-// Step implements qei.Firmware.
-func (lpmFirmware) Step(q *qei.FirmwareQuery, state qei.FirmwareState) qei.FirmwareRequest {
-	switch state {
-	case qei.FirmwareStart:
-		if q.Header.Type != lpmType {
-			return qei.FirmwareFail(fmt.Errorf("lpm firmware on %d header", q.Header.Type))
-		}
-		q.Node = q.Header.Root // current trie node
-		q.Pos = 0              // bit position
-		q.AltNode = 0          // best-match value so far (reuse scratch)
-		q.Level = 0            // best-match valid flag
-		return qei.FirmwareContinue(lpmWalk, true,
-			qei.FirmwareMemRead(uint64(q.KeyAddr), 4),
-			qei.FirmwareMemRead(uint64(q.Header.Root), 32))
-
-	case lpmWalk:
-		if q.Node == 0 || q.Pos >= 32 {
-			return qei.FirmwareFinish(q.Level != 0, uint64(q.AltNode))
-		}
-		node := uint64(q.Node)
-		// Functional read of the node.
-		hasRoute, err := q.AS.ReadU64(q.Node + 24)
-		if err != nil {
-			return qei.FirmwareFail(err)
-		}
-		if hasRoute != 0 {
-			v, err := q.AS.ReadU64(q.Node + 16)
-			if err != nil {
-				return qei.FirmwareFail(err)
-			}
-			q.AltNode = qei.Addr(v) // remember deepest route
-			q.Level = 1
-		}
-		ip := binary.BigEndian.Uint32(q.Key[:4])
-		bit := (ip >> (31 - q.Pos)) & 1
-		childU, err := q.AS.ReadU64(q.Node + qei.Addr(8*bit))
-		if err != nil {
-			return qei.FirmwareFail(err)
-		}
-		q.Pos++
-		q.Node = qei.Addr(childU)
-		if q.Node == 0 {
-			return qei.FirmwareFinish(q.Level != 0, uint64(q.AltNode),
-				qei.FirmwareCompare(node, 8))
-		}
-		// One compare (the bit test) and the next node's line.
-		return qei.FirmwareContinue(lpmWalk, false,
-			qei.FirmwareCompare(node, 8),
-			qei.FirmwareMemRead(uint64(q.Node), 32))
-
-	default:
-		return qei.FirmwareFail(fmt.Errorf("lpm: unknown state %d", state))
-	}
-}
 
 // route is one routing-table entry.
 type route struct {
@@ -108,7 +29,7 @@ type route struct {
 
 func main() {
 	sys := qei.NewSystem(qei.CoreIntegrated)
-	if err := sys.RegisterFirmware(lpmFirmware{}); err != nil {
+	if err := sys.RegisterFirmware(lpmfw.Firmware{}); err != nil {
 		panic(err)
 	}
 	fmt.Println("LPM firmware registered with the CEE")
@@ -132,7 +53,7 @@ func main() {
 		builder.add(r.prefix, r.length, r.hop)
 	}
 	root := builder.finish()
-	table, err := sys.WriteTableHeader("lpm", lpmType, root, 4, uint64(len(routes)), 0, 0)
+	table, err := sys.WriteTableHeader("lpm", lpmfw.TypeCode, root, 4, uint64(len(routes)), 0, 0)
 	if err != nil {
 		panic(err)
 	}

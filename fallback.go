@@ -1,0 +1,102 @@
+package qei
+
+import (
+	"fmt"
+
+	"qei/internal/baseline"
+	"qei/internal/cpu"
+	"qei/internal/isa"
+	"qei/internal/mem"
+	"qei/internal/trace"
+)
+
+// FallbackPolicy configures graceful degradation for blocking queries
+// (WithFallback): after AfterFaults faulting accelerator executions of
+// the same query, the System transparently re-executes it on the
+// software baseline walker, timed on a simulated core — the Tailwind
+// shape: the accelerator is an optimization, never a single point of
+// failure. Fallback results carry FellBack=true and are counted in the
+// qei/fallback_total metric.
+type FallbackPolicy struct {
+	// AfterFaults is the number of faulting accelerator executions
+	// tolerated (each may already include the engine's internal
+	// retry-from-root attempts) before the software path takes over.
+	// Values below 1 are treated as 1: fall back on the first fault.
+	AfterFaults int
+}
+
+func (p FallbackPolicy) afterFaults() int {
+	if p.AfterFaults < 1 {
+		return 1
+	}
+	return p.AfterFaults
+}
+
+// softwareFallback re-executes a faulted query on the software baseline
+// walker, advancing the issue clock by the software execution's cycle
+// count. accelRes is the accelerator's final faulting result; it is
+// returned unchanged when the software path cannot serve the query
+// (custom firmware has no baseline walker, or the key is unreadable).
+func (s *System) softwareFallback(t Table, keyAddr uint64, keyLen int, accelRes Result) (Result, error) {
+	key := make([]byte, keyLen)
+	if err := s.m.AS.Read(mem.VAddr(keyAddr), key); err != nil {
+		return accelRes, nil
+	}
+
+	var res Result
+	var tr isa.Trace
+	switch t.Kind {
+	case KindLinkedList, KindHashTable, KindCuckoo, KindSkipList, KindBST, KindBTree:
+		var br baseline.Result
+		var err error
+		switch t.Kind {
+		case KindLinkedList:
+			br, err = baseline.QueryLinkedList(s.m.AS, t.header, key)
+		case KindHashTable:
+			br, err = baseline.QueryHashTable(s.m.AS, t.header, key)
+		case KindCuckoo:
+			br, err = baseline.QueryCuckoo(s.m.AS, t.header, key)
+		case KindSkipList:
+			br, err = baseline.QuerySkipList(s.m.AS, t.header, key)
+		case KindBST:
+			br, err = baseline.QueryBST(s.m.AS, t.header, key)
+		case KindBTree:
+			br, err = baseline.QueryBTree(s.m.AS, t.header, key)
+		}
+		if err != nil {
+			// The software walker hit the same corruption: surface it as
+			// the architectural outcome of the fallback.
+			s.fallbacks++
+			return Result{FellBack: true, Err: fmt.Errorf("qei: software fallback: %w", err)}, nil
+		}
+		res = Result{Found: br.Found, Value: br.Value, FellBack: true}
+		tr = br.Trace
+	case KindTrie:
+		sr, err := baseline.ScanTrie(s.m.AS, t.header, key)
+		if err != nil {
+			s.fallbacks++
+			return Result{FellBack: true, Err: fmt.Errorf("qei: software fallback: %w", err)}, nil
+		}
+		res = Result{Found: len(sr.Matches) > 0, Matches: sr.Matches, FellBack: true}
+		tr = sr.Trace
+	default:
+		// Custom firmware has no software baseline walker; the
+		// accelerator fault is the final architectural outcome.
+		return accelRes, nil
+	}
+
+	// Time the software path on a simulated core sharing the machine's
+	// memory system — the fallback is architecturally ordinary code.
+	start := s.now
+	core := cpu.New(cpu.DefaultConfig(), s.m.CoreMemPort(0), nil)
+	res.Latency = core.Run(tr)
+	if err := core.Err(); err != nil {
+		s.fallbacks++
+		return Result{FellBack: true, Err: fmt.Errorf("qei: software fallback: %w", err)}, nil
+	}
+	s.now += res.Latency
+	s.fallbacks++
+	s.tracer.Span("qei", "fallback", start, s.now, trace.PidQST(0), 0,
+		map[string]string{"table": t.Name()})
+	return res, nil
+}

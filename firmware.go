@@ -79,10 +79,22 @@ func FirmwareFinish(found bool, value uint64, ops ...FirmwareOp) FirmwareRequest
 // FirmwareFail builds an exception outcome (Sec. IV-D).
 func FirmwareFail(err error) FirmwareRequest { return cfa.Fail(err) }
 
-// RegisterFirmware installs a new CFA on this system's CEE, validating
-// the hardware constraints (unique type code, ≤ 254 states). Queries
-// against headers carrying the firmware's type code execute it.
+// RegisterFirmware installs a new CFA on this system's CEE after the
+// full admission pass: the hardware constraints (≤ 254 states, non-zero
+// type code), a collision check against everything already installed —
+// including the built-in programs, which firmware must not silently
+// shadow — and the behavioral validation probe (the program must drive
+// a minimal structure to FirmwareDone within hardware bounds). Every
+// rejection wraps ErrFirmwareInvalid. Queries against headers carrying
+// the firmware's type code execute it.
 func (s *System) RegisterFirmware(p Firmware) error {
+	if existing, ok := s.reg.Lookup(p.TypeCode()); ok {
+		return fmt.Errorf("%w: type code %d already serves %q", ErrFirmwareInvalid,
+			p.TypeCode(), existing.Name())
+	}
+	if err := cfa.ValidateProgramDeep(p); err != nil {
+		return err
+	}
 	return s.reg.Register(p)
 }
 
@@ -110,6 +122,9 @@ func (s *System) WriteTableHeader(label string, typeCode uint8, root uint64, key
 	return Table{header: hdr, Kind: KindCustom, Label: label, KeyLen: keyLen}, nil
 }
 
-// ValidateFirmware explores nothing but checks the static constraints —
-// use it in tests before registering.
-func ValidateFirmware(p Firmware) error { return cfa.ValidateProgram(p) }
+// ValidateFirmware runs the same admission pass RegisterFirmware
+// applies (minus the registry collision check, which needs a System):
+// static hardware constraints plus the behavioral probe proving the
+// program reaches FirmwareDone on a minimal structure within bounded
+// transitions and micro-op sizes. Rejections wrap ErrFirmwareInvalid.
+func ValidateFirmware(p Firmware) error { return cfa.ValidateProgramDeep(p) }

@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 
+	"qei/internal/faultinject"
 	"qei/internal/mem"
 	"qei/internal/noc"
 	"qei/internal/trace"
@@ -144,6 +145,9 @@ type Hierarchy struct {
 	// tr receives per-access spans from the *At access variants; nil
 	// (the default) keeps the hot paths free of tracing cost.
 	tr *trace.Tracer
+	// fi may evict the accessed LLC line ahead of a lookup (see
+	// SetFaultInjector); nil disables injection.
+	fi *faultinject.Injector
 }
 
 // NewHierarchy builds the chip: nCores private hierarchies, an LLC slice
@@ -197,6 +201,11 @@ func (h *Hierarchy) memStopFor(a mem.PAddr) noc.Stop {
 func (h *Hierarchy) llcAccess(a mem.PAddr, kind AccessKind) (uint64, Level) {
 	slice := h.llc.Slice(h.llc.SliceFor(a))
 	sliceStop := h.llc.StopFor(a)
+	// Injected capacity pressure (another tenant's working set) evicts
+	// the line just before the probe, turning this access into a miss.
+	if h.fi.EvictLine() {
+		slice.Invalidate(a)
+	}
 	if slice.Lookup(a) {
 		if kind == Write {
 			slice.MarkDirty(a)

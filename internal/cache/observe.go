@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 
+	"qei/internal/faultinject"
 	"qei/internal/mem"
 	"qei/internal/metrics"
 	"qei/internal/noc"
@@ -48,6 +49,11 @@ func registerCache(r *metrics.Registry, get func() *Cache) {
 // SetTracer attaches the unified event tracer; the *At access variants
 // emit one span per access on it. A nil tracer keeps them free.
 func (h *Hierarchy) SetTracer(tr *trace.Tracer) { h.tr = tr }
+
+// SetFaultInjector attaches the fault-injection harness; while fi is
+// armed, an LLC access may find its line freshly evicted. A nil
+// injector keeps accesses exact and free.
+func (h *Hierarchy) SetFaultInjector(fi *faultinject.Injector) { h.fi = fi }
 
 // levelEventName maps the satisfying level to a static event name (no
 // per-event allocation).

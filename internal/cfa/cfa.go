@@ -196,7 +196,7 @@ func (r *Registry) Register(p Program) error {
 		return err
 	}
 	if _, dup := r.programs[p.TypeCode()]; dup {
-		return fmt.Errorf("cfa: type code %d already registered", p.TypeCode())
+		return fmt.Errorf("%w: type code %d already registered", ErrInvalidProgram, p.TypeCode())
 	}
 	r.programs[p.TypeCode()] = p
 	return nil
@@ -214,11 +214,11 @@ func (r *Registry) Len() int { return len(r.programs) }
 // ValidateProgram enforces the hardware constraints on firmware.
 func ValidateProgram(p Program) error {
 	if p.TypeCode() == dstruct.TypeInvalid {
-		return fmt.Errorf("cfa: program %q uses reserved type code 0", p.Name())
+		return fmt.Errorf("%w: program %q uses reserved type code 0", ErrInvalidProgram, p.Name())
 	}
 	if p.NumStates() < 1 || p.NumStates() > 254 {
-		return fmt.Errorf("cfa: program %q declares %d states; hardware supports 1..254 (+2 reserved)",
-			p.Name(), p.NumStates())
+		return fmt.Errorf("%w: program %q declares %d states; hardware supports 1..254 (+2 reserved)",
+			ErrInvalidProgram, p.Name(), p.NumStates())
 	}
 	return nil
 }

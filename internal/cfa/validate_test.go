@@ -1,0 +1,89 @@
+package cfa
+
+import (
+	"errors"
+	"testing"
+)
+
+// probeFW is a configurable custom program for exercising the deep
+// validation pass. The default behavior (zero fields) terminates
+// immediately: one ALU op, then DONE.
+type probeFW struct {
+	states   int
+	behavior func(q *Query, state StateID) Request
+}
+
+func (p probeFW) TypeCode() uint8 { return 77 }
+func (p probeFW) Name() string    { return "test-probe" }
+func (p probeFW) NumStates() int {
+	if p.states != 0 {
+		return p.states
+	}
+	return 1
+}
+func (p probeFW) Step(q *Query, state StateID) Request {
+	if p.behavior != nil {
+		return p.behavior(q, state)
+	}
+	return Request{Ops: []Op{ALU(8)}, Next: StateDone}
+}
+
+func TestValidateProgramDeepAcceptsMinimalCustom(t *testing.T) {
+	if err := ValidateProgramDeep(probeFW{}); err != nil {
+		t.Fatalf("minimal terminating program rejected: %v", err)
+	}
+}
+
+func TestValidateProgramDeepAcceptsBuiltins(t *testing.T) {
+	for _, p := range []Program{
+		LinkedListProgram{}, HashTableProgram{}, CuckooProgram{},
+		SkipListProgram{}, BSTProgram{}, TrieProgram{}, BTreeProgram{},
+	} {
+		if err := ValidateProgramDeep(p); err != nil {
+			t.Fatalf("builtin %s rejected: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestValidateProgramDeepRejectsPathological(t *testing.T) {
+	cases := []struct {
+		name string
+		prog Program
+	}{
+		{"too-many-states", probeFW{states: 300}},
+		{"never-reaches-done", probeFW{behavior: func(q *Query, s StateID) Request {
+			return Request{Next: 1} // spins between declared states forever
+		}}},
+		{"exception-only", probeFW{behavior: func(q *Query, s StateID) Request {
+			return Fail(errors.New("no done path"))
+		}}},
+		{"giant-op-bytes", probeFW{behavior: func(q *Query, s StateID) Request {
+			return Request{Ops: []Op{MemRead(q.Header.Root, 1<<30)}, Next: StateDone}
+		}}},
+		{"panics", probeFW{behavior: func(q *Query, s StateID) Request {
+			panic("firmware bug")
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateProgramDeep(tc.prog)
+			if err == nil {
+				t.Fatal("pathological program accepted")
+			}
+			if !errors.Is(err, ErrInvalidProgram) {
+				t.Fatalf("rejection %v does not wrap ErrInvalidProgram", err)
+			}
+		})
+	}
+}
+
+func TestRegisterCollisionWrapsErrInvalidProgram(t *testing.T) {
+	r := DefaultRegistry()
+	err := r.Register(LinkedListProgram{})
+	if err == nil {
+		t.Fatal("duplicate type code accepted")
+	}
+	if !errors.Is(err, ErrInvalidProgram) {
+		t.Fatalf("collision error %v does not wrap ErrInvalidProgram", err)
+	}
+}

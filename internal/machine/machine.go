@@ -11,6 +11,7 @@ import (
 
 	"qei/internal/cache"
 	"qei/internal/cpu"
+	"qei/internal/faultinject"
 	"qei/internal/mem"
 	"qei/internal/metrics"
 	"qei/internal/noc"
@@ -110,6 +111,21 @@ func (m *Machine) AttachObservability(reg *metrics.Registry, tr *trace.Tracer) {
 	for i, t := range m.TLB {
 		t.RegisterMetrics(reg.Scoped(fmt.Sprintf("core%d/tlb", i)))
 		t.SetTracer(tr, i, trace.TidCoreTLB)
+	}
+}
+
+// AttachFaultInjection wires the fault-injection harness into every
+// component of the machine: guest-memory reads (bit-flips), the mesh
+// (delays/drops), the LLC (evictions), and every core TLB hierarchy
+// (shootdowns). A nil injector is valid and leaves every hook a no-op.
+// The injector only fires while armed, which the accelerator does
+// around query execution — so host-side builders stay exact.
+func (m *Machine) AttachFaultInjection(fi *faultinject.Injector) {
+	m.AS.SetFaultInjector(fi)
+	m.Mesh.SetFaultInjector(fi)
+	m.Hier.SetFaultInjector(fi)
+	for _, t := range m.TLB {
+		t.SetFaultInjector(fi)
 	}
 }
 

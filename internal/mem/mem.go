@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"qei/internal/faultinject"
 	"qei/internal/trace"
 )
 
@@ -145,6 +146,9 @@ type AddressSpace struct {
 	walkLevels  int
 	// tr receives page_map instants (see SetTracer); nil disables them.
 	tr *trace.Tracer
+	// fi may corrupt data returned by Read while armed (see
+	// SetFaultInjector); nil disables injection.
+	fi *faultinject.Injector
 }
 
 // ASOption configures an AddressSpace.
@@ -276,6 +280,7 @@ func (as *AddressSpace) Contiguous(base VAddr, size uint64) bool {
 // Read copies len(dst) bytes from virtual address a, faulting if any page
 // in the range is unmapped.
 func (as *AddressSpace) Read(a VAddr, dst []byte) error {
+	origDst := dst
 	for len(dst) > 0 {
 		pa, err := as.Translate(a)
 		if err != nil {
@@ -289,6 +294,9 @@ func (as *AddressSpace) Read(a VAddr, dst []byte) error {
 		dst = dst[n:]
 		a += VAddr(n)
 	}
+	// A bit-flip corrupts only this read's view of the data — stored
+	// memory stays intact, modelling a transient upset on the read path.
+	as.fi.MaybeFlip(uint64(a), origDst)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"qei/internal/faultinject"
 	"qei/internal/metrics"
 	"qei/internal/trace"
 )
@@ -28,3 +29,8 @@ func (as *AddressSpace) RegisterMetrics(r *metrics.Registry) {
 // stamped with a mapping sequence number rather than a cycle — they
 // cluster at the left edge of the timeline.
 func (as *AddressSpace) SetTracer(tr *trace.Tracer) { as.tr = tr }
+
+// SetFaultInjector attaches the fault-injection harness; while fi is
+// armed, Read may flip one bit of the returned data (the stored bytes
+// stay intact). A nil injector keeps reads exact and free.
+func (as *AddressSpace) SetFaultInjector(fi *faultinject.Injector) { as.fi = fi }

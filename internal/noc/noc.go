@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"qei/internal/faultinject"
 	"qei/internal/trace"
 )
 
@@ -61,6 +62,11 @@ type Mesh struct {
 	sends uint64
 	// tr receives transfer spans from SendAt; nil keeps Send trace-free.
 	tr *trace.Tracer
+	// fi may delay or drop transfers (see SetFaultInjector); nil
+	// disables injection.
+	fi *faultinject.Injector
+	// drops counts transfers that were dropped and retransmitted.
+	drops uint64
 }
 
 // New creates a mesh with the given configuration.
@@ -147,8 +153,33 @@ func (m *Mesh) Send(a, b Stop, bytes uint64) uint64 {
 	for i := 0; i+1 < len(route); i++ {
 		m.linkBytes[link{route[i], route[i+1]}] += bytes
 	}
-	return m.Latency(a, b)
+	lat := m.Latency(a, b)
+	// Injected congestion stretches this transfer by a few cycles; an
+	// injected drop forces a full retransmission — the message pays the
+	// path twice (link traffic included) plus a detection timeout.
+	lat += m.fi.NoCDelayCycles()
+	if m.fi.NoCDrop() {
+		m.drops++
+		for i := 0; i+1 < len(route); i++ {
+			m.linkBytes[link{route[i], route[i+1]}] += bytes
+		}
+		lat = lat*2 + dropTimeout
+	}
+	return lat
 }
+
+// dropTimeout is the fixed detection delay before a dropped mesh
+// message is retransmitted.
+const dropTimeout = 16
+
+// Drops reports how many transfers were dropped and retransmitted by
+// fault injection.
+func (m *Mesh) Drops() uint64 { return m.drops }
+
+// SetFaultInjector attaches the fault-injection harness; while fi is
+// armed, transfers may be delayed or dropped-and-retransmitted. A nil
+// injector keeps transfer timing exact.
+func (m *Mesh) SetFaultInjector(fi *faultinject.Injector) { m.fi = fi }
 
 // ObserveWindow extends the utilization-measurement window to cycles.
 func (m *Mesh) ObserveWindow(cycles uint64) {

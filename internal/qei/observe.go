@@ -28,6 +28,8 @@ func (a *Accelerator) RegisterMetrics(r *metrics.Registry) {
 	q.RegisterFunc("dpu/hash_ops", func() uint64 { return a.stats.HashOps })
 	q.RegisterFunc("dpu/alu_ops", func() uint64 { return a.stats.ALUOps })
 	q.RegisterFunc("exceptions", func() uint64 { return a.stats.Exceptions })
+	q.RegisterFunc("retries", func() uint64 { return a.stats.Retries })
+	q.RegisterFunc("timeouts", func() uint64 { return a.stats.Timeouts })
 	q.RegisterFunc("flushes", func() uint64 { return a.stats.Flushes })
 	q.RegisterFunc("aborted_nb", func() uint64 { return a.stats.AbortedNB })
 	q.RegisterFunc("qst/stall_cycles", func() uint64 { return a.stats.QSTStallCycles })

@@ -22,6 +22,7 @@ import (
 	"qei/internal/cache"
 	"qei/internal/cfa"
 	"qei/internal/dstruct"
+	"qei/internal/faultinject"
 	"qei/internal/isa"
 	"qei/internal/machine"
 	"qei/internal/mem"
@@ -41,7 +42,31 @@ var (
 	// ErrAborted reports a non-blocking query flushed by an interrupt
 	// before completing; software should reissue it (Sec. IV-D).
 	ErrAborted = errors.New("qei: query aborted by interrupt flush")
+	// ErrQueryTimeout reports a query aborted by the per-query cycle
+	// budget watchdog (or the transition-count backstop): the CFA walk
+	// was stuck or looping. Software should treat the structure as
+	// suspect and fall back to the software path.
+	ErrQueryTimeout = errors.New("qei: query exceeded its cycle budget")
+	// ErrStructCorrupt reports that the guest data structure was
+	// inconsistent — a pointer into unmapped memory, a pointer cycle, or
+	// bytes the firmware could not interpret. The accelerator surfaces it
+	// architecturally instead of wandering or crashing (Sec. IV-D).
+	ErrStructCorrupt = errors.New("qei: guest data structure corrupt")
 )
+
+// errSpurious is the accelerator-internal soft error raised by fault
+// injection on a CFA transition; it is transient by construction and the
+// retry path clears it.
+var errSpurious = errors.New("qei: spurious CFA exception")
+
+// retryLimit bounds how many times a faulting query is retried from the
+// root before the fault is surfaced architecturally (Sec. IV-D allows
+// replay; unbounded replay would hide persistent corruption).
+const retryLimit = 2
+
+// retryBackoffBase is the cycle backoff before the first retry; it
+// doubles per attempt, giving transient conditions time to clear.
+const retryBackoffBase = 64
 
 // Stats accumulates accelerator activity for performance and power
 // analysis.
@@ -59,6 +84,10 @@ type Stats struct {
 	Exceptions     uint64
 	Flushes        uint64
 	AbortedNB      uint64
+	// Retries counts retry-from-root re-executions after transient
+	// (injected) faults; Timeouts counts watchdog expirations.
+	Retries  uint64
+	Timeouts uint64
 	// QSTStallCycles accumulates cycles queries waited for a free entry.
 	QSTStallCycles uint64
 	// BusyEntryCycles sums per-query residency; divided by makespan it
@@ -99,6 +128,8 @@ func (s Stats) Sub(prev Stats) Stats {
 		Exceptions:        s.Exceptions - prev.Exceptions,
 		Flushes:           s.Flushes - prev.Flushes,
 		AbortedNB:         s.AbortedNB - prev.AbortedNB,
+		Retries:           s.Retries - prev.Retries,
+		Timeouts:          s.Timeouts - prev.Timeouts,
 		QSTStallCycles:    s.QSTStallCycles - prev.QSTStallCycles,
 		BusyEntryCycles:   s.BusyEntryCycles - prev.BusyEntryCycles,
 		TranslationCycles: s.TranslationCycles - prev.TranslationCycles,
@@ -165,6 +196,12 @@ type Accelerator struct {
 	// (RegisterMetrics); nil when no registry is attached.
 	remoteOps []*metrics.Counter
 
+	// fi is the fault-injection harness, armed only inside execute so
+	// host-side code stays exact; nil disables injection entirely.
+	fi *faultinject.Injector
+	// cycleBudget is the per-attempt watchdog limit; 0 disables it.
+	cycleBudget uint64
+
 	stats Stats
 }
 
@@ -218,15 +255,37 @@ func New(m *machine.Machine, p scheme.Params, reg *cfa.Registry, core int) *Acce
 func (a *Accelerator) ViewForCore(core int) *Accelerator {
 	return &Accelerator{
 		m: a.m, p: a.p, reg: a.reg, core: core,
-		inst:       a.inst,
-		remoteComp: a.remoteComp,
-		localComp:  a.localComp,
-		tr:         a.tr,
-		remoteOps:  a.remoteOps,
-		results:    make(map[uint64]Result),
-		nbInFlight: make(map[uint64]nbRecord),
+		inst:        a.inst,
+		remoteComp:  a.remoteComp,
+		localComp:   a.localComp,
+		tr:          a.tr,
+		remoteOps:   a.remoteOps,
+		fi:          a.fi,
+		cycleBudget: a.cycleBudget,
+		results:     make(map[uint64]Result),
+		nbInFlight:  make(map[uint64]nbRecord),
 	}
 }
+
+// SetFaultInjector attaches the fault-injection harness. The engine arms
+// it for the duration of execute — covering QST/CEE work and every
+// memory, NoC, TLB, and cache access the query makes — and disarms it
+// around host-visible bookkeeping. Dedicated per-instance TLBs
+// (CHA-TLB scheme) are wired here; the shared machine components are
+// wired by machine.AttachFaultInjection.
+func (a *Accelerator) SetFaultInjector(fi *faultinject.Injector) {
+	a.fi = fi
+	for _, ins := range a.inst {
+		if ins.tlb != nil {
+			ins.tlb.SetFaultInjector(fi)
+		}
+	}
+}
+
+// SetCycleBudget sets the per-attempt watchdog limit in cycles; once an
+// execution attempt has burned that many cycles it aborts with
+// ErrQueryTimeout. 0 (the default) disables the watchdog.
+func (a *Accelerator) SetCycleBudget(budget uint64) { a.cycleBudget = budget }
 
 // Params returns the scheme configuration.
 func (a *Accelerator) Params() scheme.Params { return a.p }
@@ -526,7 +585,11 @@ func compareCycles(bytes uint64) uint64 {
 }
 
 // execute runs one query through the QST/CEE/DPU starting at arrival
-// cycle t0, returning the completion cycle at the accelerator.
+// cycle t0, returning the completion cycle at the accelerator. It owns
+// the architectural recovery loop: an attempt that faults while fault
+// injection fired is transient, and the QST entry retries the walk from
+// the root with exponential cycle backoff (Sec. IV-D replayability);
+// persistent faults surface architecturally after retryLimit attempts.
 func (a *Accelerator) execute(ins *instance, qd *isa.QueryDesc, t0 uint64) uint64 {
 	a.stats.Queries++
 	if a.stats.FirstIssue == 0 || t0 < a.stats.FirstIssue {
@@ -544,15 +607,88 @@ func (a *Accelerator) execute(ins *instance, qd *isa.QueryDesc, t0 uint64) uint6
 	}
 	ins.qstSeq++
 
+	// Fault injection fires only while the accelerator itself runs, so
+	// structure builders, fallback execution, and result polling stay
+	// exact.
+	a.fi.Arm()
+	defer a.fi.Disarm()
+
 	t := start
-	fail := func(err error) uint64 {
-		a.stats.Exceptions++
-		a.results[qd.Tag] = Result{Fault: err, Done: t}
-		ins.qstRing[slot] = t
-		a.noteFinish(start, t)
-		a.recordSpan(Span{Tag: qd.Tag, Start: start, End: t,
-			Instance: a.instanceIndex(ins), Slot: int(slot), Fault: true})
-		return t
+	var res Result
+	for attempt := 0; ; attempt++ {
+		injBefore := a.fi.Injected()
+		res, t = a.attempt(ins, qd, t)
+		if res.Fault == nil {
+			break
+		}
+		// A fault with injections during the attempt is transient; retry
+		// from the root after a backoff. Faults with no injection are
+		// persistent (bad pointer, bad firmware) — retrying cannot help.
+		if a.fi.Injected() == injBefore || attempt >= retryLimit {
+			a.stats.Exceptions++
+			if errors.Is(res.Fault, ErrQueryTimeout) {
+				a.stats.Timeouts++
+			}
+			break
+		}
+		a.stats.Retries++
+		t += retryBackoffBase << uint(attempt)
+	}
+
+	res.Done = t
+	a.results[qd.Tag] = res
+	ins.qstRing[slot] = t
+	a.noteFinish(start, t)
+	a.recordSpan(Span{Tag: qd.Tag, Start: start, End: t,
+		Instance: a.instanceIndex(ins), Slot: int(slot), Fault: res.Fault != nil})
+	return t
+}
+
+// corrupt wraps a guest-access error as an architectural structure
+// fault: the pointer or bytes the accelerator followed did not describe
+// a valid structure.
+func corrupt(err error) error {
+	return fmt.Errorf("%w: %w", ErrStructCorrupt, err)
+}
+
+// cfaConfig is the complete mutable configuration of a CFA walk: the
+// automaton state plus the QST cursor. Step is deterministic given this
+// tuple and guest memory, and guest memory is static during a query —
+// so an exactly repeated configuration proves an infinite pointer
+// cycle. Matches can only grow, so its length stands in for it.
+type cfaConfig struct {
+	state      cfa.StateID
+	node, alt  mem.VAddr
+	level, pos int
+	matches    int
+}
+
+func configOf(state cfa.StateID, q *cfa.Query) cfaConfig {
+	return cfaConfig{state: state, node: q.Node, alt: q.AltNode,
+		level: q.Level, pos: q.Pos, matches: len(q.Matches)}
+}
+
+// safeStep invokes the firmware handler with a panic barrier: firmware
+// is untrusted input, and a handler that panics (out-of-range index,
+// nil deref) must become an architectural fault, not a process crash.
+func safeStep(prog cfa.Program, q *cfa.Query, state cfa.StateID) (req cfa.Request, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: firmware %s panicked in state %d: %v",
+				cfa.ErrInvalidProgram, prog.Name(), state, r)
+		}
+	}()
+	return prog.Step(q, state), nil
+}
+
+// attempt runs one execution attempt of a query starting at cycle
+// start, returning the architectural result (res.Fault != nil on an
+// exception) and the cycle the attempt ended. Done is left for the
+// caller to stamp.
+func (a *Accelerator) attempt(ins *instance, qd *isa.QueryDesc, start uint64) (Result, uint64) {
+	t := start
+	fail := func(err error) (Result, uint64) {
+		return Result{Fault: err}, t
 	}
 
 	pageCache := map[uint64]mem.PAddr{}
@@ -564,12 +700,12 @@ func (a *Accelerator) execute(ins *instance, qd *isa.QueryDesc, t0 uint64) uint6
 	a.stats.MemLines++
 	t += hlat
 	if err != nil {
-		return fail(err)
+		return fail(corrupt(err))
 	}
 	fetched[uint64(qd.HeaderAddr.Line())] = true
 	hdr, err := dstruct.ReadHeader(a.m.AS, qd.HeaderAddr)
 	if err != nil {
-		return fail(err)
+		return fail(corrupt(err))
 	}
 	prog, ok := a.reg.Lookup(hdr.Type)
 	if !ok {
@@ -582,7 +718,7 @@ func (a *Accelerator) execute(ins *instance, qd *isa.QueryDesc, t0 uint64) uint6
 	}
 	key := make([]byte, keyLen)
 	if err := a.m.AS.Read(qd.KeyAddr, key); err != nil {
-		return fail(err)
+		return fail(corrupt(err))
 	}
 
 	q := &cfa.Query{
@@ -594,10 +730,23 @@ func (a *Accelerator) execute(ins *instance, qd *isa.QueryDesc, t0 uint64) uint6
 	}
 
 	state := cfa.StateStart
+	// Brent's cycle detection over the walk configuration: O(1) memory,
+	// catches corrupt structures whose pointers loop (the walk repeats a
+	// configuration exactly) long before the transition-count backstop.
+	tortoise := configOf(state, q)
+	cyclePow, cycleLen := 1, 0
 	const maxTransitions = 1 << 20
 	for steps := 0; ; steps++ {
 		if steps >= maxTransitions {
-			return fail(fmt.Errorf("qei: runaway CFA %s", prog.Name()))
+			return fail(fmt.Errorf("%w: runaway CFA %s after %d transitions",
+				ErrQueryTimeout, prog.Name(), maxTransitions))
+		}
+		// Watchdog: a stuck or wandering walk must not hold its QST slot
+		// forever; past the per-attempt cycle budget it aborts
+		// architecturally (Sec. IV-D).
+		if a.cycleBudget != 0 && t-start >= a.cycleBudget {
+			return fail(fmt.Errorf("%w: %d cycles into firmware %s",
+				ErrQueryTimeout, t-start, prog.Name()))
 		}
 		// CEE: each transition occupies the engine for one cycle. The
 		// engine is shared by the instance's in-flight queries, but
@@ -612,15 +761,26 @@ func (a *Accelerator) execute(ins *instance, qd *isa.QueryDesc, t0 uint64) uint6
 		t++ // the transition's own CEE cycle
 		a.stats.Transitions++
 
-		req := prog.Step(q, state)
+		if a.fi.SpuriousFault() {
+			return fail(errSpurious)
+		}
+
+		req, err := safeStep(prog, q, state)
+		if err != nil {
+			return fail(err)
+		}
 
 		// Charge the transition's micro-ops.
 		var serial uint64
 		var parallel uint64
 		for _, op := range req.Ops {
+			if op.Bytes > cfa.MaxOpBytes {
+				return fail(fmt.Errorf("%w: firmware %s op of %d bytes in state %d",
+					cfa.ErrInvalidProgram, prog.Name(), op.Bytes, state))
+			}
 			lat, err := a.chargeOp(ins, op, t, pageCache, fetched, uint64(len(q.Key)))
 			if err != nil {
-				return fail(err)
+				return fail(corrupt(err))
 			}
 			serial += lat
 			if lat > parallel {
@@ -635,18 +795,22 @@ func (a *Accelerator) execute(ins *instance, qd *isa.QueryDesc, t0 uint64) uint6
 
 		switch req.Next {
 		case cfa.StateDone:
-			res := Result{Found: req.Found, Value: req.Value, Matches: q.Matches, Done: t}
-			a.results[qd.Tag] = res
-			ins.qstRing[slot] = t
-			a.noteFinish(start, t)
-			a.recordSpan(Span{Tag: qd.Tag, Start: start, End: t,
-				Instance: a.instanceIndex(ins), Slot: int(slot)})
-			return t
+			return Result{Found: req.Found, Value: req.Value, Matches: q.Matches}, t
 		case cfa.StateException:
 			return fail(req.Fault)
 		default:
 			state = req.Next
 		}
+
+		cur := configOf(state, q)
+		if cur == tortoise {
+			return fail(fmt.Errorf("%w: pointer cycle in firmware %s (period ≤ %d)",
+				ErrStructCorrupt, prog.Name(), cycleLen+1))
+		}
+		if cycleLen == cyclePow {
+			tortoise, cyclePow, cycleLen = cur, cyclePow*2, 0
+		}
+		cycleLen++
 	}
 }
 

@@ -12,6 +12,7 @@ package tlb
 import (
 	"fmt"
 
+	"qei/internal/faultinject"
 	"qei/internal/mem"
 	"qei/internal/trace"
 )
@@ -45,6 +46,9 @@ type TLB struct {
 	hits    uint64
 	misses  uint64
 	flushes uint64
+	// fi may force a shootdown-flush ahead of a lookup (see
+	// SetFaultInjector); nil disables injection.
+	fi *faultinject.Injector
 }
 
 // New builds a TLB from cfg. Entries must be divisible by Ways.
@@ -69,9 +73,19 @@ func New(cfg Config) *TLB {
 // Config returns the TLB geometry.
 func (t *TLB) Config() Config { return t.cfg }
 
+// SetFaultInjector attaches the fault-injection harness; while fi is
+// armed, a lookup may be preceded by an injected shootdown flush. A nil
+// injector keeps lookups exact and free.
+func (t *TLB) SetFaultInjector(fi *faultinject.Injector) { t.fi = fi }
+
 // Lookup checks whether the page containing a is cached, updating LRU and
 // statistics. It returns hit=true and the hit latency on a hit.
 func (t *TLB) Lookup(a mem.VAddr) (hit bool, latency uint64) {
+	// An injected shootdown (remote munmap IPI) lands just before the
+	// probe: the whole TLB is invalidated and this lookup must miss.
+	if t.fi.TLBShootdown() {
+		t.Flush()
+	}
 	vp := a.Page()
 	set := vp % uint64(t.sets)
 	for w, tag := range t.tags[set] {
@@ -244,4 +258,12 @@ func (h *Hierarchy) TranslateL2(a mem.VAddr) (mem.PAddr, uint64, error) {
 func (h *Hierarchy) Flush() {
 	h.L1.Flush()
 	h.L2.Flush()
+}
+
+// SetFaultInjector attaches the fault-injection harness to both TLB
+// levels (the walker is exact: a page walk reads architected page
+// tables, which the fault model leaves intact).
+func (h *Hierarchy) SetFaultInjector(fi *faultinject.Injector) {
+	h.L1.SetFaultInjector(fi)
+	h.L2.SetFaultInjector(fi)
 }

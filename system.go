@@ -5,6 +5,7 @@ import (
 
 	"qei/internal/cfa"
 	"qei/internal/dstruct"
+	"qei/internal/faultinject"
 	"qei/internal/isa"
 	"qei/internal/machine"
 	"qei/internal/mem"
@@ -95,10 +96,14 @@ type Result struct {
 	// Matches holds all match values of a trie scan, in match order.
 	Matches []uint64
 	// Latency is the query's end-to-end cycle count as observed by the
-	// issuing core (issue to result writeback).
+	// issuing core (issue to result writeback); for a fallback result it
+	// is the software walker's execution time.
 	Latency uint64
 	// Err carries the architectural exception, if the query faulted.
 	Err error
+	// FellBack marks a result produced by the software baseline walker
+	// after the accelerator faulted (WithFallback).
+	FellBack bool
 }
 
 // System is one simulated machine with a QEI accelerator attached to
@@ -115,17 +120,27 @@ type System struct {
 	// WithMetrics/WithTrace; nil when the respective option is off.
 	mreg   *metrics.Registry
 	tracer *trace.Tracer
+	// fi is the fault-injection harness (WithFaultInjection); nil keeps
+	// every hook a free no-op.
+	fi *faultinject.Injector
+	// fallback is the graceful-degradation policy (WithFallback); nil
+	// disables software fallback. fallbacks counts queries served by it.
+	fallback  *FallbackPolicy
+	fallbacks uint64
 }
 
 // Option configures a System at construction.
 type Option func(*sysConfig)
 
 type sysConfig struct {
-	qstSize int
-	tracing bool
-	metrics bool
-	trace   bool
-	seed    int64
+	qstSize     int
+	tracing     bool
+	metrics     bool
+	trace       bool
+	seed        int64
+	faults      *FaultSpec
+	cycleBudget uint64
+	fallback    *FallbackPolicy
 }
 
 // WithQSTSize overrides the scheme's per-instance QST entry count — the
@@ -161,6 +176,34 @@ func WithMetrics() Option {
 // it as Chrome trace-event JSON. Off by default.
 func WithTrace() Option {
 	return func(c *sysConfig) { c.trace = true }
+}
+
+// WithFaultInjection arms the deterministic fault-injection harness
+// with the given replayable plan. Faults fire only while the
+// accelerator executes a query — builders and the software fallback
+// stay exact — and every injection decision is a pure function of the
+// spec's seed, so reruns reproduce failures bit for bit. A spec with
+// all rates zero wires the harness but never fires, changing nothing.
+func WithFaultInjection(f FaultSpec) Option {
+	return func(c *sysConfig) { c.faults = &f }
+}
+
+// WithQueryCycleBudget arms the per-query watchdog: an accelerator
+// execution attempt that burns more than the given number of cycles
+// aborts with ErrQueryTimeout instead of holding its QST slot forever
+// (stuck walks over corrupt structures, runaway firmware). 0 — the
+// default — disables the watchdog.
+func WithQueryCycleBudget(cycles uint64) Option {
+	return func(c *sysConfig) { c.cycleBudget = cycles }
+}
+
+// WithFallback enables graceful degradation for blocking queries: after
+// p.AfterFaults faulting accelerator executions, the query re-executes
+// on the software baseline walker (see FallbackPolicy). Fallbacks are
+// counted in the qei/fallback_total metric and appear on the trace
+// timeline.
+func WithFallback(p FallbackPolicy) Option {
+	return func(c *sysConfig) { c.fallback = &p }
 }
 
 // NewSystem builds a 24-core machine (Tab. II configuration) with a QEI
@@ -199,8 +242,37 @@ func NewSystem(s Scheme, opts ...Option) *System {
 	if cfg.tracing {
 		sys.accel.EnableTracing()
 	}
+	if cfg.faults != nil {
+		sys.fi = faultinject.New(cfg.faults.sched)
+		m.AttachFaultInjection(sys.fi)
+		sys.accel.SetFaultInjector(sys.fi)
+	}
+	if cfg.cycleBudget > 0 {
+		sys.accel.SetCycleBudget(cfg.cycleBudget)
+	}
+	sys.fallback = cfg.fallback
+	// Robustness counters live beside the accelerator's qei/ metrics
+	// (Scoped and RegisterFunc are nil-safe, like all registry wiring).
+	q := mreg.Scoped("qei")
+	q.RegisterFunc("fallback_total", func() uint64 { return sys.fallbacks })
+	if cfg.faults != nil {
+		f := mreg.Scoped("faults")
+		f.RegisterFunc("injected", func() uint64 { return sys.fi.Injected() })
+		for k := 0; k < faultinject.NumKinds(); k++ {
+			kind := faultinject.Kind(k)
+			f.RegisterFunc(kind.String()+"/hits", func() uint64 { return sys.fi.Hits(kind) })
+		}
+	}
 	return sys
 }
+
+// FaultsInjected reports how many faults the injection harness has
+// fired so far (0 without WithFaultInjection).
+func (s *System) FaultsInjected() uint64 { return s.fi.Injected() }
+
+// Fallbacks reports how many queries were served by the software
+// fallback path (0 without WithFallback).
+func (s *System) Fallbacks() uint64 { return s.fallbacks }
 
 // QSTCapacity returns the total number of QST entries across the
 // accelerator's instances — the bound on outstanding async queries.
@@ -337,8 +409,30 @@ func (s *System) Query(t Table, key []byte) (Result, error) {
 	return s.QueryAt(t, keyAddr, len(key))
 }
 
-// QueryAt is Query for a key already staged in simulated memory.
+// QueryAt is Query for a key already staged in simulated memory. With
+// WithFallback, a query whose accelerator executions keep faulting is
+// transparently re-executed on the software baseline walker; the
+// returned result then has FellBack set.
 func (s *System) QueryAt(t Table, keyAddr uint64, keyLen int) (Result, error) {
+	res, err := s.issueAccel(t, keyAddr, keyLen)
+	if err != nil || res.Err == nil || s.fallback == nil {
+		return res, err
+	}
+	// Re-execute on the accelerator until the policy's fault tolerance
+	// is exhausted (the engine's internal transient-retry already ran
+	// inside each execution), then degrade to the software walker.
+	for faults := 1; faults < s.fallback.afterFaults(); faults++ {
+		res, err = s.issueAccel(t, keyAddr, keyLen)
+		if err != nil || res.Err == nil {
+			return res, err
+		}
+	}
+	return s.softwareFallback(t, keyAddr, keyLen, res)
+}
+
+// issueAccel runs one blocking accelerator execution of a query,
+// advancing the issue clock to its completion.
+func (s *System) issueAccel(t Table, keyAddr uint64, keyLen int) (Result, error) {
 	tag := s.nextTag()
 	desc := &isa.QueryDesc{
 		HeaderAddr: t.header,
@@ -532,6 +626,11 @@ type Stats struct {
 	LocalCompares  uint64
 	RemoteCompares uint64
 	Exceptions     uint64
+	// Retries counts retry-from-root recoveries of transient injected
+	// faults; Timeouts counts queries killed by the cycle-budget
+	// watchdog (WithQueryCycleBudget).
+	Retries  uint64
+	Timeouts uint64
 	// Occupancy is the average number of busy QST entries over the
 	// active window.
 	Occupancy float64
@@ -547,6 +646,8 @@ func (s *System) Stats() Stats {
 		LocalCompares:  st.LocalCompares,
 		RemoteCompares: st.RemoteCompares,
 		Exceptions:     st.Exceptions,
+		Retries:        st.Retries,
+		Timeouts:       st.Timeouts,
 		Occupancy:      st.Occupancy(),
 	}
 }
