@@ -1,0 +1,56 @@
+package qei
+
+// End-to-end wall-clock benchmarks for the simulator hot path. Unlike
+// the figure benches (bench_test.go) these are sized for -benchmem
+// iteration during performance work and back the ci.sh bench-guard
+// stage: BENCH_guard.json pins their allocs/op envelope.
+
+import (
+	"testing"
+
+	"qei/internal/scheme"
+	"qei/internal/workload"
+)
+
+// BenchmarkEndToEndBaseline runs the software baseline end to end on
+// the small DPDK workload: trace synthesis through the OoO core model,
+// caches, TLBs, and mesh.
+func BenchmarkEndToEndBaseline(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.RunBaseline(workload.SmallDPDK(), workload.Full,
+			workload.WithWarmup()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndQEI runs the accelerated path (CHA-TLB scheme) end
+// to end on the small DPDK workload: QST issue, CEE walks, comparator
+// booking, NoC accounting.
+func BenchmarkEndToEndQEI(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		run, err := workload.RunQEI(workload.SmallDPDK(), scheme.CHATLB,
+			workload.Full, workload.WithWarmup())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if run.Mismatches != 0 {
+			b.Fatalf("%d wrong results", run.Mismatches)
+		}
+	}
+}
+
+// BenchmarkEndToEndBench runs one full cell of the "bench" experiment
+// matrix — baseline plus every integration scheme — exactly as
+// qeibench -exp bench does, on one workload.
+func BenchmarkEndToEndBench(b *testing.B) {
+	b.ReportAllocs()
+	benches := []workload.Benchmark{workload.SmallDPDK()}
+	for i := 0; i < b.N; i++ {
+		if _, err := runBenchOn(benches, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -28,6 +28,14 @@ go test -run '^$' -bench BenchmarkTab1 -benchtime 1x -short .
 # wall-clock thresholds).
 go test -run '^(TestObservabilityZeroCycleImpact|TestFaultInjectionZeroCycleImpact)$' -count=1 .
 
+# Bench guard: benchmark the end-to-end runners and compare against the
+# committed BENCH_guard.json envelope. Allocations are the hard gate
+# (>2x allocs/op fails — machine-independent, so any excursion is a real
+# hot-path regression); wall time gets a generous 5x to absorb machine
+# variation. See bench_guard_test.go for how to regenerate the envelope
+# after an intentional performance change.
+QEI_BENCH_GUARD=1 go test -run '^TestBenchGuard$' -count=1 -short .
+
 # Fault-injection smoke: a replayable chaos schedule through every
 # structure kind must resolve every query without panicking the
 # process (qeisim exits non-zero otherwise).

@@ -8,11 +8,17 @@
 //
 //	qeibench [-scale small|full] [-exp all|fig1|...|bench] [-parallel N] [-csv]
 //	qeibench -json [-out DIR] [-scale small|full] [-parallel N]
+//	qeibench -cpuprofile cpu.pprof -memprofile mem.pprof -exp bench
 //
 // -json runs the bench experiment (the workload × scheme matrix with
 // metrics attached) and writes machine-readable results to
 // BENCH_bench.json in -out: one record per cell with cycles, speedup
 // over the software baseline, and the key simulator counters.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run for the
+// wall-clock optimization workflow (see README "Performance"): profile
+// a run, inspect with `go tool pprof`, fix the hot spot, then prove
+// cycle outputs unchanged with TestBenchGoldenCycles.
 package main
 
 import (
@@ -20,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"qei"
@@ -32,7 +40,38 @@ func main() {
 	csvFlag := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonFlag := flag.Bool("json", false, "run the bench matrix and write machine-readable BENCH_bench.json")
 	outFlag := flag.String("out", ".", "directory for -json output")
+	benchJSONFlag := flag.String("benchjson", "", "run the bench matrix and write its records to this exact file path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qeibench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "qeibench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qeibench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "qeibench: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	scale := qei.Small
 	switch *scaleFlag {
@@ -45,14 +84,19 @@ func main() {
 	}
 
 	ctx := context.Background()
-	if *jsonFlag {
+	if *jsonFlag || *benchJSONFlag != "" {
 		rs, err := qei.RunBench(scale, qei.WithContext(ctx), qei.WithParallelism(*parFlag))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "qeibench: bench: %v\n", err)
 			os.Exit(1)
 		}
-		path, err := qei.WriteBenchJSON(*outFlag, "bench", rs)
-		if err != nil {
+		path := *benchJSONFlag
+		if *jsonFlag {
+			if path, err = qei.WriteBenchJSON(*outFlag, "bench", rs); err != nil {
+				fmt.Fprintf(os.Stderr, "qeibench: %v\n", err)
+				os.Exit(1)
+			}
+		} else if err = qei.WriteBenchJSONFile(path, rs); err != nil {
 			fmt.Fprintf(os.Stderr, "qeibench: %v\n", err)
 			os.Exit(1)
 		}

@@ -74,12 +74,27 @@ func LLCSliceConfig() Config {
 }
 
 // Cache is a single set-associative cache array with true-LRU replacement.
+//
+// Tag, dirty, and LRU state live in flat arrays indexed set*ways+way
+// (three allocations per cache instead of three per set), and the set
+// index is a shift+mask when the geometry is a power of two — which
+// every configuration in this repo is; the division path is kept for
+// odd geometries. Lookup/Insert sit under every simulated memory
+// access, so this layout is what the hierarchy's throughput rides on.
 type Cache struct {
-	cfg   Config
-	sets  uint64
-	tags  [][]uint64 // line addresses; ^0 = invalid
-	dirty [][]bool
-	lru   [][]uint64
+	cfg  Config
+	sets uint64
+	ways int
+	// lineShift/setMask implement setIndex without div/mod when the
+	// line size and set count are powers of two (linePow2/setsPow2).
+	lineShift uint
+	setMask   uint64
+	linePow2  bool
+	setsPow2  bool
+
+	tags  []uint64 // line addresses; ^0 = invalid
+	dirty []bool
+	lru   []uint64
 	stamp uint64
 
 	hits, misses, evictions, writebacks uint64
@@ -91,17 +106,23 @@ func New(cfg Config) *Cache {
 	if sets <= 0 || cfg.SizeBytes%(cfg.LineSize*uint64(cfg.Ways)) != 0 {
 		panic(fmt.Sprintf("cache: bad geometry %+v", cfg))
 	}
-	c := &Cache{cfg: cfg, sets: uint64(sets)}
-	c.tags = make([][]uint64, sets)
-	c.dirty = make([][]bool, sets)
-	c.lru = make([][]uint64, sets)
-	for i := range c.tags {
-		c.tags[i] = make([]uint64, cfg.Ways)
-		c.dirty[i] = make([]bool, cfg.Ways)
-		c.lru[i] = make([]uint64, cfg.Ways)
-		for w := range c.tags[i] {
-			c.tags[i][w] = ^uint64(0)
+	c := &Cache{cfg: cfg, sets: uint64(sets), ways: cfg.Ways}
+	if cfg.LineSize&(cfg.LineSize-1) == 0 {
+		c.linePow2 = true
+		for l := cfg.LineSize; l > 1; l >>= 1 {
+			c.lineShift++
 		}
+	}
+	if c.sets&(c.sets-1) == 0 {
+		c.setsPow2 = true
+		c.setMask = c.sets - 1
+	}
+	n := sets * cfg.Ways
+	c.tags = make([]uint64, n)
+	c.dirty = make([]bool, n)
+	c.lru = make([]uint64, n)
+	for i := range c.tags {
+		c.tags[i] = ^uint64(0)
 	}
 	return c
 }
@@ -110,17 +131,25 @@ func New(cfg Config) *Cache {
 func (c *Cache) Config() Config { return c.cfg }
 
 func (c *Cache) setIndex(line uint64) uint64 {
-	return (line / c.cfg.LineSize) % c.sets
+	if c.linePow2 {
+		line >>= c.lineShift
+	} else {
+		line /= c.cfg.LineSize
+	}
+	if c.setsPow2 {
+		return line & c.setMask
+	}
+	return line % c.sets
 }
 
 // Lookup probes for the line containing a, updating LRU and stats.
 func (c *Cache) Lookup(a mem.PAddr) bool {
 	line := uint64(a.Line())
-	set := c.setIndex(line)
-	for w, tag := range c.tags[set] {
+	base := int(c.setIndex(line)) * c.ways
+	for i, tag := range c.tags[base : base+c.ways] {
 		if tag == line {
 			c.stamp++
-			c.lru[set][w] = c.stamp
+			c.lru[base+i] = c.stamp
 			c.hits++
 			return true
 		}
@@ -132,8 +161,8 @@ func (c *Cache) Lookup(a mem.PAddr) bool {
 // Contains probes without touching LRU or stats (for invariant checks).
 func (c *Cache) Contains(a mem.PAddr) bool {
 	line := uint64(a.Line())
-	set := c.setIndex(line)
-	for _, tag := range c.tags[set] {
+	base := int(c.setIndex(line)) * c.ways
+	for _, tag := range c.tags[base : base+c.ways] {
 		if tag == line {
 			return true
 		}
@@ -146,13 +175,14 @@ func (c *Cache) Contains(a mem.PAddr) bool {
 // dirty line (writeback) occurred. evicted is ^0 when nothing was evicted.
 func (c *Cache) Insert(a mem.PAddr, dirtyFill bool) (evicted uint64, writeback bool) {
 	line := uint64(a.Line())
-	set := c.setIndex(line)
-	for w, tag := range c.tags[set] {
+	base := int(c.setIndex(line)) * c.ways
+	set := c.tags[base : base+c.ways]
+	for i, tag := range set {
 		if tag == line {
 			c.stamp++
-			c.lru[set][w] = c.stamp
+			c.lru[base+i] = c.stamp
 			if dirtyFill {
-				c.dirty[set][w] = true
+				c.dirty[base+i] = true
 			}
 			return ^uint64(0), false
 		}
@@ -160,18 +190,18 @@ func (c *Cache) Insert(a mem.PAddr, dirtyFill bool) (evicted uint64, writeback b
 	// Prefer an invalid way; otherwise evict true-LRU.
 	victim := -1
 	oldest := ^uint64(0)
-	for w, tag := range c.tags[set] {
+	for i, tag := range set {
 		if tag == ^uint64(0) {
-			victim = w
+			victim = i
 			break
 		}
-		if c.lru[set][w] < oldest {
-			oldest = c.lru[set][w]
-			victim = w
+		if c.lru[base+i] < oldest {
+			oldest = c.lru[base+i]
+			victim = i
 		}
 	}
-	evicted = c.tags[set][victim]
-	writeback = evicted != ^uint64(0) && c.dirty[set][victim]
+	evicted = set[victim]
+	writeback = evicted != ^uint64(0) && c.dirty[base+victim]
 	if evicted != ^uint64(0) {
 		c.evictions++
 		if writeback {
@@ -179,19 +209,19 @@ func (c *Cache) Insert(a mem.PAddr, dirtyFill bool) (evicted uint64, writeback b
 		}
 	}
 	c.stamp++
-	c.tags[set][victim] = line
-	c.dirty[set][victim] = dirtyFill
-	c.lru[set][victim] = c.stamp
+	set[victim] = line
+	c.dirty[base+victim] = dirtyFill
+	c.lru[base+victim] = c.stamp
 	return evicted, writeback
 }
 
 // MarkDirty sets the dirty bit of the line containing a if present.
 func (c *Cache) MarkDirty(a mem.PAddr) {
 	line := uint64(a.Line())
-	set := c.setIndex(line)
-	for w, tag := range c.tags[set] {
+	base := int(c.setIndex(line)) * c.ways
+	for i, tag := range c.tags[base : base+c.ways] {
 		if tag == line {
-			c.dirty[set][w] = true
+			c.dirty[base+i] = true
 			return
 		}
 	}
@@ -201,13 +231,13 @@ func (c *Cache) MarkDirty(a mem.PAddr) {
 // was dirty.
 func (c *Cache) Invalidate(a mem.PAddr) (present, wasDirty bool) {
 	line := uint64(a.Line())
-	set := c.setIndex(line)
-	for w, tag := range c.tags[set] {
+	base := int(c.setIndex(line)) * c.ways
+	for i, tag := range c.tags[base : base+c.ways] {
 		if tag == line {
-			wasDirty = c.dirty[set][w]
-			c.tags[set][w] = ^uint64(0)
-			c.dirty[set][w] = false
-			c.lru[set][w] = 0
+			wasDirty = c.dirty[base+i]
+			c.tags[base+i] = ^uint64(0)
+			c.dirty[base+i] = false
+			c.lru[base+i] = 0
 			return true, wasDirty
 		}
 	}

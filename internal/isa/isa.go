@@ -246,5 +246,46 @@ func (b *Builder) Take() Trace {
 	return t
 }
 
+// Ops returns the accumulated trace without giving up its backing
+// array: the caller may read it until the next Reset, after which the
+// storage is reused. This is the reuse-path twin of Take for callers
+// that consume the trace synchronously (cpu.Core.Run does).
+func (b *Builder) Ops() Trace { return b.ops }
+
+// Reset empties the builder for reuse, keeping the trace's backing
+// array and restarting register numbering exactly as a fresh builder
+// would (NewBuilder starts at register 1, and register numbering feeds
+// the core's dependence tracking — so a Reset builder emits
+// byte-identical traces to a new one). Any Trace previously obtained
+// from Ops is invalidated.
+func (b *Builder) Reset() {
+	b.ops = b.ops[:0]
+	b.nextReg = 1
+}
+
 // Len reports the number of ops accumulated so far.
 func (b *Builder) Len() int { return len(b.ops) }
+
+// Skeleton is a memoized builder prefix: the ops emitted so far plus the
+// register-allocation state they leave behind. Replaying a skeleton into
+// a freshly Reset builder is byte-identical to re-emitting the same
+// calls, which is what makes per-structure trace-prefix caching safe
+// under the determinism contract.
+type Skeleton struct {
+	Ops     Trace
+	NextReg Reg
+}
+
+// Snapshot captures the builder's current contents as a Skeleton. The
+// ops are copied, so the skeleton stays valid across Reset.
+func (b *Builder) Snapshot() Skeleton {
+	return Skeleton{Ops: append(Trace(nil), b.ops...), NextReg: b.nextReg}
+}
+
+// AppendSkeleton replays a memoized prefix: the ops are appended and the
+// register allocator is advanced to the state it had when the skeleton
+// was captured.
+func (b *Builder) AppendSkeleton(s Skeleton) {
+	b.ops = append(b.ops, s.Ops...)
+	b.nextReg = s.NextReg
+}

@@ -57,17 +57,28 @@ func (p PAddr) Line() PAddr { return p &^ (LineSize - 1) }
 // Frame returns the physical frame number containing p.
 func (p PAddr) Frame() uint64 { return uint64(p) >> PageShift }
 
+// physChunkShift sizes the chunks of the two-level frame table: 1024
+// frames (4 MB of simulated memory) per chunk.
+const (
+	physChunkShift = 10
+	physChunkSize  = 1 << physChunkShift
+	physChunkMask  = physChunkSize - 1
+)
+
 // Physical is the machine's sparse physical memory: a pool of 4 KB frames
-// allocated on demand.
+// allocated on demand. Frames live in a two-level flat table — a slice
+// of fixed-size chunks — so the per-access path is two array index
+// operations instead of a map lookup (this sits under every simulated
+// byte the workloads touch).
 type Physical struct {
-	frames    map[uint64][]byte
+	chunks    [][][]byte
 	nextFrame uint64
 }
 
 // NewPhysical returns an empty physical memory. Frame 0 is reserved so a
 // zero PAddr can act as "unmapped".
 func NewPhysical() *Physical {
-	return &Physical{frames: make(map[uint64][]byte), nextFrame: 1}
+	return &Physical{nextFrame: 1}
 }
 
 // AllocFrame reserves the next physical frame and returns its number.
@@ -81,10 +92,31 @@ func (p *Physical) AllocFrame() uint64 {
 func (p *Physical) FramesAllocated() uint64 { return p.nextFrame - 1 }
 
 func (p *Physical) frame(f uint64) []byte {
-	b, ok := p.frames[f]
-	if !ok {
+	c := f >> physChunkShift
+	if c < uint64(len(p.chunks)) {
+		if ch := p.chunks[c]; ch != nil {
+			if b := ch[f&physChunkMask]; b != nil {
+				return b
+			}
+		}
+	}
+	return p.growFrame(f)
+}
+
+// growFrame is the cold path of frame: materialize the chunk and/or the
+// frame's backing bytes.
+func (p *Physical) growFrame(f uint64) []byte {
+	c := f >> physChunkShift
+	for uint64(len(p.chunks)) <= c {
+		p.chunks = append(p.chunks, nil)
+	}
+	if p.chunks[c] == nil {
+		p.chunks[c] = make([][]byte, physChunkSize)
+	}
+	b := p.chunks[c][f&physChunkMask]
+	if b == nil {
 		b = make([]byte, PageSize)
-		p.frames[f] = b
+		p.chunks[c][f&physChunkMask] = b
 	}
 	return b
 }
@@ -130,12 +162,35 @@ func (e *PageFaultError) Error() string {
 	return fmt.Sprintf("mem: page fault at virtual address %#x", uint64(e.Addr))
 }
 
+// pageChunkShift sizes the chunks of the two-level page table: 512
+// pages (2 MB of virtual address space) per chunk.
+const (
+	pageChunkShift = 9
+	pageChunkSize  = 1 << pageChunkShift
+	pageChunkMask  = pageChunkSize - 1
+)
+
+// unmappedFrame marks an unmapped page-table entry (frame numbers are
+// small positive integers, so all-ones is free).
+const unmappedFrame = ^uint64(0)
+
 // AddressSpace is a per-process virtual address space: a page table over
 // shared physical memory plus a simple bump allocator for virtual ranges.
 type AddressSpace struct {
 	phys *Physical
-	// pages maps virtual page number to physical frame number.
-	pages map[uint64]uint64
+	// pt maps virtual page number to physical frame number through a
+	// two-level flat table: pt[vp>>pageChunkShift][vp&pageChunkMask].
+	// A nil chunk or an unmappedFrame entry means unmapped. Pages are
+	// only ever added (there is no unmap), which is what makes the
+	// last-page cache below safe without invalidation.
+	pt     [][]uint64
+	mapped int
+	// lastVP/lastFrame cache the most recent successful translation;
+	// dependent pointer chases hit the same page repeatedly, so this
+	// answers most Translate calls with one comparison. lastVP starts
+	// as unmappedFrame, which no valid page number equals.
+	lastVP    uint64
+	lastFrame uint64
 	// brk is the next unallocated virtual address.
 	brk VAddr
 	// frameStride scatters consecutive virtual pages across physical
@@ -172,7 +227,7 @@ func WithBase(base VAddr) ASOption {
 func NewAddressSpace(phys *Physical, opts ...ASOption) *AddressSpace {
 	as := &AddressSpace{
 		phys:        phys,
-		pages:       make(map[uint64]uint64),
+		lastVP:      unmappedFrame,
 		brk:         0x10000,
 		frameStride: 0, // 0 = on-demand, naturally interleaved
 		walkLevels:  4, // x86-64 style 4-level walk
@@ -191,7 +246,36 @@ func (as *AddressSpace) WalkLevels() int { return as.walkLevels }
 func (as *AddressSpace) Brk() VAddr { return as.brk }
 
 // MappedPages reports how many virtual pages are mapped.
-func (as *AddressSpace) MappedPages() int { return len(as.pages) }
+func (as *AddressSpace) MappedPages() int { return as.mapped }
+
+// frameOf looks up the frame backing virtual page vp.
+func (as *AddressSpace) frameOf(vp uint64) (uint64, bool) {
+	c := vp >> pageChunkShift
+	if c < uint64(len(as.pt)) {
+		if ch := as.pt[c]; ch != nil {
+			if f := ch[vp&pageChunkMask]; f != unmappedFrame {
+				return f, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// setFrame installs vp → frame, growing the table as needed.
+func (as *AddressSpace) setFrame(vp, frame uint64) {
+	c := vp >> pageChunkShift
+	for uint64(len(as.pt)) <= c {
+		as.pt = append(as.pt, nil)
+	}
+	if as.pt[c] == nil {
+		ch := make([]uint64, pageChunkSize)
+		for i := range ch {
+			ch[i] = unmappedFrame
+		}
+		as.pt[c] = ch
+	}
+	as.pt[c][vp&pageChunkMask] = frame
+}
 
 // Alloc reserves size bytes of virtual memory aligned to align (which must
 // be a power of two, at least 1) and maps the backing pages. It returns
@@ -222,11 +306,11 @@ func (as *AddressSpace) AllocLines(size uint64) VAddr {
 }
 
 func (as *AddressSpace) mapPage(vp uint64) {
-	if _, ok := as.pages[vp]; ok {
+	if _, ok := as.frameOf(vp); ok {
 		return
 	}
 	if as.tr != nil {
-		as.tr.Point("mem", "page_map", uint64(len(as.pages)), trace.PidMem, 0, nil)
+		as.tr.Point("mem", "page_map", uint64(as.mapped), trace.PidMem, 0, nil)
 	}
 	var frame uint64
 	if as.frameStride == 1 {
@@ -242,16 +326,22 @@ func (as *AddressSpace) mapPage(vp uint64) {
 			as.phys.AllocFrame()
 		}
 	}
-	as.pages[vp] = frame
+	as.setFrame(vp, frame)
+	as.mapped++
 }
 
 // Translate converts a virtual address to a physical address, or reports a
 // page fault if the page is unmapped.
 func (as *AddressSpace) Translate(a VAddr) (PAddr, error) {
-	frame, ok := as.pages[a.Page()]
+	vp := a.Page()
+	if vp == as.lastVP {
+		return PAddr(as.lastFrame<<PageShift | a.Offset()), nil
+	}
+	frame, ok := as.frameOf(vp)
 	if !ok {
 		return 0, &PageFaultError{Addr: a}
 	}
+	as.lastVP, as.lastFrame = vp, frame
 	return PAddr(frame<<PageShift | a.Offset()), nil
 }
 
@@ -263,12 +353,12 @@ func (as *AddressSpace) Contiguous(base VAddr, size uint64) bool {
 	}
 	first := base.Page()
 	last := (uint64(base) + size - 1) >> PageShift
-	prev, ok := as.pages[first]
+	prev, ok := as.frameOf(first)
 	if !ok {
 		return false
 	}
 	for vp := first + 1; vp <= last; vp++ {
-		f, ok := as.pages[vp]
+		f, ok := as.frameOf(vp)
 		if !ok || f != prev+1 {
 			return false
 		}
@@ -278,8 +368,21 @@ func (as *AddressSpace) Contiguous(base VAddr, size uint64) bool {
 }
 
 // Read copies len(dst) bytes from virtual address a, faulting if any page
-// in the range is unmapped.
+// in the range is unmapped. Ranges within one page — every dstruct
+// field decode and almost every key read — take a single-translate,
+// single-copy fast path.
 func (as *AddressSpace) Read(a VAddr, dst []byte) error {
+	if n := uint64(len(dst)); n > 0 && n <= PageSize-a.Offset() {
+		pa, err := as.Translate(a)
+		if err != nil {
+			return err
+		}
+		copy(dst, as.phys.frame(pa.Frame())[a.Offset():])
+		// The injector sees the same post-range address the multi-page
+		// path below would hand it.
+		as.fi.MaybeFlip(uint64(a)+n, dst)
+		return nil
+	}
 	origDst := dst
 	for len(dst) > 0 {
 		pa, err := as.Translate(a)
@@ -302,6 +405,14 @@ func (as *AddressSpace) Read(a VAddr, dst []byte) error {
 
 // Write copies src to virtual address a, faulting if unmapped.
 func (as *AddressSpace) Write(a VAddr, src []byte) error {
+	if n := uint64(len(src)); n > 0 && n <= PageSize-a.Offset() {
+		pa, err := as.Translate(a)
+		if err != nil {
+			return err
+		}
+		copy(as.phys.frame(pa.Frame())[a.Offset():], src)
+		return nil
+	}
 	for len(src) > 0 {
 		pa, err := as.Translate(a)
 		if err != nil {

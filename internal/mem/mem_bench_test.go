@@ -1,0 +1,69 @@
+package mem
+
+import "testing"
+
+// BenchmarkMemAccessReadU64 measures the dependent-load pattern of the
+// dstruct decoders: repeated 8-byte reads spread over a structure.
+func BenchmarkMemAccessReadU64(b *testing.B) {
+	b.ReportAllocs()
+	phys := NewPhysical()
+	as := NewAddressSpace(phys)
+	base := as.Alloc(1<<20, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := base + VAddr((uint64(i)*4096+uint64(i)*8)%(1<<20-8))
+		if _, err := as.ReadU64(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemAccessReadKey measures small in-page range reads (key
+// compares) through the single-page fast path.
+func BenchmarkMemAccessReadKey(b *testing.B) {
+	b.ReportAllocs()
+	phys := NewPhysical()
+	as := NewAddressSpace(phys)
+	base := as.Alloc(1<<20, 64)
+	var key [16]byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := base + VAddr((uint64(i)*64)%(1<<20-16))
+		if err := as.Read(a, key[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemAccessTranslate measures raw translation with the page
+// locality real pointer chases exhibit (several hits per page).
+func BenchmarkMemAccessTranslate(b *testing.B) {
+	b.ReportAllocs()
+	phys := NewPhysical()
+	as := NewAddressSpace(phys)
+	base := as.Alloc(1<<22, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := base + VAddr((uint64(i)*1024)%(1<<22))
+		if _, err := as.Translate(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemAccessCrossPage measures multi-page range reads (the slow
+// path the fast path must not regress).
+func BenchmarkMemAccessCrossPage(b *testing.B) {
+	b.ReportAllocs()
+	phys := NewPhysical()
+	as := NewAddressSpace(phys)
+	base := as.Alloc(1<<20, 4096)
+	buf := make([]byte, 3*PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := base + VAddr((uint64(i)*128)%(1<<19))
+		if err := as.Read(a, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -47,15 +47,26 @@ func DefaultConfig() Config {
 	}
 }
 
-// link is a directed edge between adjacent stops.
-type link struct {
-	from, to Stop
-}
+// Directed-link direction indices for the flat traffic table: the link
+// leaving stop s toward its east/west/south/north neighbour lives at
+// linkBytes[s*linkDirs+dir].
+const (
+	dirEast = iota
+	dirWest
+	dirSouth
+	dirNorth
+	linkDirs
+)
 
 // Mesh is a 2-D mesh NoC.
+//
+// Per-link traffic lives in a flat array indexed by (stop, direction)
+// rather than a map keyed by stop pairs: Send is on the path of every
+// simulated cache miss, and accounting a route is then pure index
+// arithmetic with no per-transfer allocation.
 type Mesh struct {
 	cfg       Config
-	linkBytes map[link]uint64
+	linkBytes []uint64
 	// totalCycles tracks the window over which utilization is measured.
 	windowCycles uint64
 	// sends counts transfers for the metrics registry.
@@ -74,7 +85,27 @@ func New(cfg Config) *Mesh {
 	if cfg.Cols <= 0 || cfg.Rows <= 0 {
 		panic("noc: mesh dimensions must be positive")
 	}
-	return &Mesh{cfg: cfg, linkBytes: make(map[link]uint64)}
+	return &Mesh{cfg: cfg, linkBytes: make([]uint64, cfg.Cols*cfg.Rows*linkDirs)}
+}
+
+// neighbour returns the stop adjacent to s in direction dir, or -1 when
+// the link would leave the mesh.
+func (m *Mesh) neighbour(s Stop, dir int) Stop {
+	c, r := m.Coord(s)
+	switch dir {
+	case dirEast:
+		c++
+	case dirWest:
+		c--
+	case dirSouth:
+		r++
+	default:
+		r--
+	}
+	if c < 0 || c >= m.cfg.Cols || r < 0 || r >= m.cfg.Rows {
+		return -1
+	}
+	return Stop(r*m.cfg.Cols + c)
 }
 
 // Config returns the mesh configuration.
@@ -119,29 +150,33 @@ func (m *Mesh) RoundTrip(a, b Stop) uint64 {
 	return 2 * m.Latency(a, b)
 }
 
-// path returns the XY route from a to b as a sequence of stops.
-func (m *Mesh) path(a, b Stop) []Stop {
+// accountRoute walks the XY route from a to b, adding bytes to every
+// directed link it crosses. No route slice is materialized: the walk is
+// coordinate arithmetic over the flat traffic table.
+func (m *Mesh) accountRoute(a, b Stop, bytes uint64) {
 	ac, ar := m.Coord(a)
 	bc, br := m.Coord(b)
-	route := []Stop{a}
 	c, r := ac, ar
 	for c != bc {
+		s := r*m.cfg.Cols + c
 		if c < bc {
+			m.linkBytes[s*linkDirs+dirEast] += bytes
 			c++
 		} else {
+			m.linkBytes[s*linkDirs+dirWest] += bytes
 			c--
 		}
-		route = append(route, m.StopAt(c, r))
 	}
 	for r != br {
+		s := r*m.cfg.Cols + c
 		if r < br {
+			m.linkBytes[s*linkDirs+dirSouth] += bytes
 			r++
 		} else {
+			m.linkBytes[s*linkDirs+dirNorth] += bytes
 			r--
 		}
-		route = append(route, m.StopAt(c, r))
 	}
-	return route
 }
 
 // Send accounts a transfer of bytes from a to b along the XY route and
@@ -149,10 +184,7 @@ func (m *Mesh) path(a, b Stop) []Stop {
 // compose it with the sim engine.
 func (m *Mesh) Send(a, b Stop, bytes uint64) uint64 {
 	m.sends++
-	route := m.path(a, b)
-	for i := 0; i+1 < len(route); i++ {
-		m.linkBytes[link{route[i], route[i+1]}] += bytes
-	}
+	m.accountRoute(a, b, bytes)
 	lat := m.Latency(a, b)
 	// Injected congestion stretches this transfer by a few cycles; an
 	// injected drop forces a full retransmission — the message pays the
@@ -160,9 +192,7 @@ func (m *Mesh) Send(a, b Stop, bytes uint64) uint64 {
 	lat += m.fi.NoCDelayCycles()
 	if m.fi.NoCDrop() {
 		m.drops++
-		for i := 0; i+1 < len(route); i++ {
-			m.linkBytes[link{route[i], route[i+1]}] += bytes
-		}
+		m.accountRoute(a, b, bytes)
 		lat = lat*2 + dropTimeout
 	}
 	return lat
@@ -200,11 +230,15 @@ func (m *Mesh) TotalBytes() uint64 {
 
 // LinkUtilization returns the utilization (0..1+) of the busiest link over
 // the observed window, and the total bytes moved across all links.
+// A zero observation window yields zero utilization (no divide).
 func (m *Mesh) LinkUtilization() (peak float64, totalBytes uint64) {
 	if m.windowCycles == 0 {
 		return 0, 0
 	}
 	capacity := float64(m.windowCycles) * m.cfg.LinkBytesPerCycle
+	if capacity == 0 {
+		return 0, m.TotalBytes()
+	}
 	for _, b := range m.linkBytes {
 		totalBytes += b
 		if u := float64(b) / capacity; u > peak {
@@ -224,12 +258,11 @@ func (m *Mesh) MeanUtilization() float64 {
 	if nLinks == 0 {
 		return 0
 	}
-	var total uint64
-	for _, b := range m.linkBytes {
-		total += b
-	}
 	capacity := float64(m.windowCycles) * m.cfg.LinkBytesPerCycle * float64(nLinks)
-	return float64(total) / capacity
+	if capacity == 0 {
+		return 0
+	}
+	return float64(m.TotalBytes()) / capacity
 }
 
 // HotspotReport lists the n busiest links, descending by bytes.
@@ -238,13 +271,23 @@ type HotspotEntry struct {
 	Bytes    uint64
 }
 
-// Hotspots returns the n busiest links.
+// Hotspots returns the n busiest links, ordered by a total key —
+// (bytes desc, from, to) — under a stable sort, so the report is fully
+// deterministic regardless of traversal or sort-internals order.
 func (m *Mesh) Hotspots(n int) []HotspotEntry {
-	entries := make([]HotspotEntry, 0, len(m.linkBytes))
-	for l, b := range m.linkBytes {
-		entries = append(entries, HotspotEntry{From: l.from, To: l.to, Bytes: b})
+	var entries []HotspotEntry
+	for i, b := range m.linkBytes {
+		if b == 0 {
+			continue // untouched link: never carried a transfer
+		}
+		from := Stop(i / linkDirs)
+		to := m.neighbour(from, i%linkDirs)
+		if to < 0 {
+			continue
+		}
+		entries = append(entries, HotspotEntry{From: from, To: to, Bytes: b})
 	}
-	sort.Slice(entries, func(i, j int) bool {
+	sort.SliceStable(entries, func(i, j int) bool {
 		if entries[i].Bytes != entries[j].Bytes {
 			return entries[i].Bytes > entries[j].Bytes
 		}
@@ -261,7 +304,7 @@ func (m *Mesh) Hotspots(n int) []HotspotEntry {
 
 // ResetTraffic clears accumulated traffic counters (geometry unchanged).
 func (m *Mesh) ResetTraffic() {
-	m.linkBytes = make(map[link]uint64)
+	clear(m.linkBytes)
 	m.windowCycles = 0
 }
 

@@ -159,6 +159,7 @@ type Result struct {
 // instance is one accelerator instance (one per CHA for the CHA-based
 // schemes, one per core for Core-integrated, one chip-wide for devices).
 type instance struct {
+	idx     int // position in Accelerator.inst (shared by views)
 	stop    noc.Stop
 	qstRing []uint64 // completion cycle of entry (seq % size)
 	qstSeq  uint64
@@ -202,7 +203,92 @@ type Accelerator struct {
 	// cycleBudget is the per-attempt watchdog limit; 0 disables it.
 	cycleBudget uint64
 
+	// sc is the per-attempt working set (page cache, staged-line set,
+	// key buffer), reused across queries — the accelerator computes one
+	// attempt at a time. oneOffSc backs dataAccess calls that need an
+	// empty page cache (result writes), so they keep the exact timing of
+	// a cold translation. pickKey stages the key bytes pickInstance
+	// hashes at issue time.
+	sc       scratch
+	oneOffSc scratch
+	pickKey  []byte
+
 	stats Stats
+}
+
+// noEntry is the one-entry-cache sentinel: no virtual page or line
+// address reaches ^0 (pages are addr>>12, lines are 64-byte-aligned
+// addresses below the allocator's brk).
+const noEntry = ^uint64(0)
+
+// scratch is the working set of one execution attempt. The maps are
+// cleared (not reallocated) per attempt, and one-entry caches in front
+// of them catch the page/line locality of structure walks — consecutive
+// accesses overwhelmingly hit the page and line just touched. Neither
+// map is ever iterated, so reuse cannot perturb determinism.
+type scratch struct {
+	// pages caches completed translations: virtual page -> physical page
+	// base (QEI keeps the current translation in the QST entry, so
+	// consecutive lines on one page translate once).
+	pages    map[uint64]mem.PAddr
+	lastPage uint64
+	lastBase mem.PAddr
+	// fetched records virtual lines staged into the QST data field.
+	fetched  map[uint64]bool
+	lastLine uint64
+	// key stages the query's key bytes for the attempt.
+	key []byte
+}
+
+// reset prepares the scratch for a new attempt.
+func (s *scratch) reset() {
+	if s.pages == nil {
+		s.pages = make(map[uint64]mem.PAddr, 16)
+		s.fetched = make(map[uint64]bool, 32)
+	} else {
+		clear(s.pages)
+		clear(s.fetched)
+	}
+	s.lastPage = noEntry
+	s.lastLine = noEntry
+}
+
+// lookupPage consults the one-entry cache, then the map.
+func (s *scratch) lookupPage(page uint64) (mem.PAddr, bool) {
+	if page == s.lastPage {
+		return s.lastBase, true
+	}
+	base, ok := s.pages[page]
+	if ok {
+		s.lastPage, s.lastBase = page, base
+	}
+	return base, ok
+}
+
+// storePage records a completed translation.
+func (s *scratch) storePage(page uint64, base mem.PAddr) {
+	s.pages[page] = base
+	s.lastPage, s.lastBase = page, base
+}
+
+// markFetched records a staged line.
+func (s *scratch) markFetched(line uint64) {
+	s.fetched[line] = true
+	s.lastLine = line
+}
+
+// wasFetched reports whether a line is staged.
+func (s *scratch) wasFetched(line uint64) bool {
+	return line == s.lastLine || s.fetched[line]
+}
+
+// keyBuf returns the scratch's n-byte key buffer, growing it if needed.
+func (s *scratch) keyBuf(n int) []byte {
+	if cap(s.key) < n {
+		s.key = make([]byte, n)
+	}
+	s.key = s.key[:n]
+	return s.key
 }
 
 // New builds an accelerator for the given machine, scheme, firmware
@@ -215,6 +301,7 @@ func New(m *machine.Machine, p scheme.Params, reg *cfa.Registry, core int) *Acce
 	}
 	for i := 0; i < p.Instances; i++ {
 		ins := &instance{
+			idx:     i,
 			qstRing: make([]uint64, p.QSTEntriesPerInstance),
 		}
 		switch p.Kind {
@@ -318,6 +405,15 @@ func (a *Accelerator) pickInstance(q *isa.QueryDesc) *instance {
 	return a.inst[a.m.Hier.LLC().SliceFor(pa)%len(a.inst)]
 }
 
+// pickKeyBuf returns the issue-time key buffer, growing it if needed.
+func (a *Accelerator) pickKeyBuf(n int) []byte {
+	if cap(a.pickKey) < n {
+		a.pickKey = make([]byte, n)
+	}
+	a.pickKey = a.pickKey[:n]
+	return a.pickKey
+}
+
 // firstDataAddr computes the first structure address a query touches.
 func (a *Accelerator) firstDataAddr(q *isa.QueryDesc) mem.VAddr {
 	hdr, err := dstruct.ReadHeader(a.m.AS, q.HeaderAddr)
@@ -330,7 +426,7 @@ func (a *Accelerator) firstDataAddr(q *isa.QueryDesc) mem.VAddr {
 		if q.KeyLen != 0 {
 			keyLen = int(q.KeyLen)
 		}
-		key := make([]byte, keyLen)
+		key := a.pickKeyBuf(keyLen)
 		if err := a.m.AS.Read(q.KeyAddr, key); err != nil {
 			return q.KeyAddr
 		}
@@ -338,7 +434,7 @@ func (a *Accelerator) firstDataAddr(q *isa.QueryDesc) mem.VAddr {
 		return dstruct.EntryAddr(hdr, h1, 0)
 	case dstruct.TypeHashTable:
 		keyLen := int(hdr.KeyLen)
-		key := make([]byte, keyLen)
+		key := a.pickKeyBuf(keyLen)
 		if err := a.m.AS.Read(q.KeyAddr, key); err != nil {
 			return q.KeyAddr
 		}
@@ -472,12 +568,12 @@ func (a *Accelerator) responseHop(ins *instance, bytes, at uint64) uint64 {
 }
 
 // translate resolves a virtual address on the scheme's translation path
-// starting at cycle at, using the per-query page cache (QEI keeps the
+// starting at cycle at, using the attempt's page cache (QEI keeps the
 // current translation in the QST entry, so consecutive lines on one page
 // translate once).
-func (a *Accelerator) translate(ins *instance, addr mem.VAddr, at uint64, pageCache map[uint64]mem.PAddr) (mem.PAddr, uint64, error) {
+func (a *Accelerator) translate(ins *instance, addr mem.VAddr, at uint64, sc *scratch) (mem.PAddr, uint64, error) {
 	page := addr.Page()
-	if base, ok := pageCache[page]; ok {
+	if base, ok := sc.lookupPage(page); ok {
 		return base | mem.PAddr(addr.Offset()), 0, nil
 	}
 	var pa mem.PAddr
@@ -512,18 +608,20 @@ func (a *Accelerator) translate(ins *instance, addr mem.VAddr, at uint64, pageCa
 	if err != nil {
 		return 0, lat, err
 	}
-	pageCache[page] = pa &^ (mem.PageSize - 1)
+	sc.storePage(page, pa&^(mem.PageSize-1))
 	a.stats.TranslationCycles += lat
 	return pa, lat, nil
 }
 
 // dataAccess performs one cacheline access on the scheme's data path and
-// returns its latency. pageCache may be nil for one-off accesses.
-func (a *Accelerator) dataAccess(ins *instance, addr mem.VAddr, kind cache.AccessKind, at uint64, pageCache map[uint64]mem.PAddr) (uint64, error) {
-	if pageCache == nil {
-		pageCache = map[uint64]mem.PAddr{}
+// returns its latency. sc may be nil for one-off accesses, which then
+// run against an empty page cache (cold-translation timing).
+func (a *Accelerator) dataAccess(ins *instance, addr mem.VAddr, kind cache.AccessKind, at uint64, sc *scratch) (uint64, error) {
+	if sc == nil {
+		a.oneOffSc.reset()
+		sc = &a.oneOffSc
 	}
-	pa, tlat, err := a.translate(ins, addr, at, pageCache)
+	pa, tlat, err := a.translate(ins, addr, at, sc)
 	if err != nil {
 		return tlat, err
 	}
@@ -691,18 +789,18 @@ func (a *Accelerator) attempt(ins *instance, qd *isa.QueryDesc, start uint64) (R
 		return Result{Fault: err}, t
 	}
 
-	pageCache := map[uint64]mem.PAddr{}
-	fetched := map[uint64]bool{} // virtual line -> staged in QST data
+	sc := &a.sc
+	sc.reset()
 
 	// Step 1: fetch the metadata header (one line, Sec. IV-C).
-	hlat, err := a.dataAccess(ins, qd.HeaderAddr, cache.Read, t, pageCache)
+	hlat, err := a.dataAccess(ins, qd.HeaderAddr, cache.Read, t, sc)
 	a.stats.MemOps++
 	a.stats.MemLines++
 	t += hlat
 	if err != nil {
 		return fail(corrupt(err))
 	}
-	fetched[uint64(qd.HeaderAddr.Line())] = true
+	sc.markFetched(uint64(qd.HeaderAddr.Line()))
 	hdr, err := dstruct.ReadHeader(a.m.AS, qd.HeaderAddr)
 	if err != nil {
 		return fail(corrupt(err))
@@ -716,7 +814,7 @@ func (a *Accelerator) attempt(ins *instance, qd *isa.QueryDesc, start uint64) (R
 	if qd.KeyLen != 0 {
 		keyLen = int(qd.KeyLen)
 	}
-	key := make([]byte, keyLen)
+	key := sc.keyBuf(keyLen)
 	if err := a.m.AS.Read(qd.KeyAddr, key); err != nil {
 		return fail(corrupt(err))
 	}
@@ -778,7 +876,7 @@ func (a *Accelerator) attempt(ins *instance, qd *isa.QueryDesc, start uint64) (R
 				return fail(fmt.Errorf("%w: firmware %s op of %d bytes in state %d",
 					cfa.ErrInvalidProgram, prog.Name(), op.Bytes, state))
 			}
-			lat, err := a.chargeOp(ins, op, t, pageCache, fetched, uint64(len(q.Key)))
+			lat, err := a.chargeOp(ins, op, t, sc, uint64(len(q.Key)))
 			if err != nil {
 				return fail(corrupt(err))
 			}
@@ -823,7 +921,7 @@ func (a *Accelerator) noteFinish(start, finish uint64) {
 
 // chargeOp computes the latency of one DPU/memory micro-op starting at
 // t. keyBytes is the staged key size (remote-compare request payload).
-func (a *Accelerator) chargeOp(ins *instance, op cfa.Op, t uint64, pageCache map[uint64]mem.PAddr, fetched map[uint64]bool, keyBytes uint64) (uint64, error) {
+func (a *Accelerator) chargeOp(ins *instance, op cfa.Op, t uint64, sc *scratch, keyBytes uint64) (uint64, error) {
 	switch op.Kind {
 	case cfa.OpMemRead:
 		a.stats.MemOps++
@@ -835,11 +933,11 @@ func (a *Accelerator) chargeOp(ins *instance, op cfa.Op, t uint64, pageCache map
 		var maxLat uint64
 		for line := first; line <= last; line += mem.LineSize {
 			a.stats.MemLines++
-			lat, err := a.dataAccess(ins, mem.VAddr(line), cache.Read, t, pageCache)
+			lat, err := a.dataAccess(ins, mem.VAddr(line), cache.Read, t, sc)
 			if err != nil {
 				return lat, err
 			}
-			fetched[line] = true
+			sc.markFetched(line)
 			if lat > maxLat {
 				maxLat = lat // lines of one micro-op burst in parallel
 			}
@@ -852,18 +950,18 @@ func (a *Accelerator) chargeOp(ins *instance, op cfa.Op, t uint64, pageCache map
 		// Covered by staged data? Then a local DPU comparator suffices
 		// ("a small key comparison can be done in one of the DPU if the
 		// key is part of the fetched cacheline", Sec. V-A).
-		if a.coveredByStaged(op, fetched) {
+		if a.coveredByStaged(op, sc) {
 			a.stats.LocalCompares++
 			instIdx := a.instanceIndex(ins)
 			startC := bookComparator(a.localComp[instIdx], t, cycles)
 			return startC + cycles - t, nil
 		}
 		if a.p.RemoteCompare {
-			return a.remoteCompare(ins, op, t, pageCache, keyBytes, cycles)
+			return a.remoteCompare(ins, op, t, sc, keyBytes, cycles)
 		}
 		// No remote comparators (device schemes): fetch the operand lines
 		// to the accelerator and compare locally.
-		fetchLat, err := a.chargeOp(ins, cfa.MemRead(op.Addr, op.Bytes), t, pageCache, fetched, keyBytes)
+		fetchLat, err := a.chargeOp(ins, cfa.MemRead(op.Addr, op.Bytes), t, sc, keyBytes)
 		if err != nil {
 			return fetchLat, err
 		}
@@ -885,14 +983,14 @@ func (a *Accelerator) chargeOp(ins *instance, op cfa.Op, t uint64, pageCache map
 
 // coveredByStaged reports whether every line of the compare operand has
 // already been fetched into the QST's intermediate-data field.
-func (a *Accelerator) coveredByStaged(op cfa.Op, fetched map[uint64]bool) bool {
+func (a *Accelerator) coveredByStaged(op cfa.Op, sc *scratch) bool {
 	if op.Bytes == 0 {
 		return true
 	}
 	first := uint64(op.Addr.Line())
 	last := uint64((op.Addr + mem.VAddr(op.Bytes) - 1).Line())
 	for line := first; line <= last; line += mem.LineSize {
-		if !fetched[line] {
+		if !sc.wasFetched(line) {
 			return false
 		}
 	}
@@ -903,8 +1001,8 @@ func (a *Accelerator) coveredByStaged(op cfa.Op, fetched map[uint64]bool) bool {
 // the key chunk travels to the slice, the comparator reads the data
 // in-place from the LLC, and only the outcome returns (Sec. V-A).
 // keyBytes is the size of the key payload carried by the request.
-func (a *Accelerator) remoteCompare(ins *instance, op cfa.Op, t uint64, pageCache map[uint64]mem.PAddr, keyBytes uint64, cycles uint64) (uint64, error) {
-	pa, tlat, err := a.translate(ins, op.Addr, t, pageCache)
+func (a *Accelerator) remoteCompare(ins *instance, op cfa.Op, t uint64, sc *scratch, keyBytes uint64, cycles uint64) (uint64, error) {
+	pa, tlat, err := a.translate(ins, op.Addr, t, sc)
 	if err != nil {
 		return tlat, err
 	}
@@ -922,7 +1020,7 @@ func (a *Accelerator) remoteCompare(ins *instance, op cfa.Op, t uint64, pageCach
 	first := uint64(op.Addr.Line())
 	last := uint64((op.Addr + mem.VAddr(op.Bytes) - 1).Line())
 	for line := first; line <= last; line += mem.LineSize {
-		lpa, _, err := a.translate(ins, mem.VAddr(line), arrive, pageCache)
+		lpa, _, err := a.translate(ins, mem.VAddr(line), arrive, sc)
 		if err != nil {
 			return 0, err
 		}
@@ -940,14 +1038,7 @@ func (a *Accelerator) remoteCompare(ins *instance, op cfa.Op, t uint64, pageCach
 	return done - t, nil
 }
 
-func (a *Accelerator) instanceIndex(ins *instance) int {
-	for i, x := range a.inst {
-		if x == ins {
-			return i
-		}
-	}
-	return 0
-}
+func (a *Accelerator) instanceIndex(ins *instance) int { return ins.idx }
 
 // Flush aborts in-flight non-blocking queries at an interrupt
 // (Sec. IV-D): abort codes are written to their result addresses with

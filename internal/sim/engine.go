@@ -5,12 +5,16 @@
 // The engine maintains a global cycle counter and a priority queue of
 // scheduled events. Events scheduled for the same cycle fire in the order
 // they were scheduled, which keeps runs fully deterministic.
+//
+// The queue is an index-free binary min-heap over scheduledEvent VALUES
+// (no per-event boxing, no container/heap interface dispatch), plus a
+// FIFO ring that absorbs the very common After(0)/same-cycle case
+// without touching the heap at all. Engines are reusable across jobs
+// via Reset, so steady-state scheduling performs zero allocations once
+// the backing arrays have grown to the schedule's high-water mark.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Cycle is a point in simulated time, measured in CPU clock cycles.
 type Cycle uint64
@@ -19,59 +23,53 @@ type Cycle uint64
 type Event func()
 
 type scheduledEvent struct {
-	at    Cycle
-	seq   uint64 // tie-breaker: schedule order
-	fn    Event
-	index int // heap index
+	at  Cycle
+	seq uint64 // tie-breaker: schedule order
+	fn  Event
 }
 
-type eventHeap []*scheduledEvent
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by (cycle, schedule order): the FIFO
+// tie-break on seq is what makes runs deterministic.
+func eventLess(a, b scheduledEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*scheduledEvent)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
 // Engine is a deterministic discrete-event simulator.
 //
 // The zero value is not usable; create engines with NewEngine.
 type Engine struct {
-	now    Cycle
-	seq    uint64
-	events eventHeap
-	fired  uint64
+	now   Cycle
+	seq   uint64
+	fired uint64
+	// heap holds events with at >= now in a value min-heap.
+	heap []scheduledEvent
+	// ring holds events scheduled for the current cycle (After(0) and
+	// friends) in FIFO order; ringHead indexes the next entry to fire.
+	// Every ring entry has at == now and a seq greater than any
+	// same-cycle entry in the heap, so the merge in next() stays a pure
+	// (at, seq) comparison.
+	ring     []scheduledEvent
+	ringHead int
 }
 
 // NewEngine returns an engine positioned at cycle 0 with no pending events.
-func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.events)
-	return e
+func NewEngine() *Engine { return &Engine{} }
+
+// Reset returns the engine to cycle 0 with no pending events, keeping
+// the queue's backing arrays so a reused engine schedules without
+// allocating. Pending events (if any) are discarded.
+func (e *Engine) Reset() {
+	e.now = 0
+	e.seq = 0
+	e.fired = 0
+	clear(e.heap) // drop closure references
+	e.heap = e.heap[:0]
+	clear(e.ring)
+	e.ring = e.ring[:0]
+	e.ringHead = 0
 }
 
 // Now returns the current simulated cycle.
@@ -81,7 +79,7 @@ func (e *Engine) Now() Cycle { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports how many events are waiting to execute.
-func (e *Engine) Pending() int { return e.events.Len() }
+func (e *Engine) Pending() int { return len(e.heap) + len(e.ring) - e.ringHead }
 
 // At schedules fn to run at absolute cycle at. Scheduling in the past
 // (before Now) panics: it would silently corrupt causality.
@@ -89,9 +87,13 @@ func (e *Engine) At(at Cycle, fn Event) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at cycle %d before now (%d)", at, e.now))
 	}
-	ev := &scheduledEvent{at: at, seq: e.seq, fn: fn}
+	ev := scheduledEvent{at: at, seq: e.seq, fn: fn}
 	e.seq++
-	heap.Push(&e.events, ev)
+	if at == e.now {
+		e.ring = append(e.ring, ev)
+		return
+	}
+	e.push(ev)
 }
 
 // After schedules fn to run delay cycles from now.
@@ -99,13 +101,91 @@ func (e *Engine) After(delay Cycle, fn Event) {
 	e.At(e.now+delay, fn)
 }
 
+// push inserts ev into the value heap (sift-up).
+func (e *Engine) push(ev scheduledEvent) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.heap = h
+}
+
+// popHeap removes and returns the heap minimum (sift-down).
+func (e *Engine) popHeap() scheduledEvent {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = scheduledEvent{} // drop closure reference
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && eventLess(h[r], h[l]) {
+			m = r
+		}
+		if !eventLess(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	e.heap = h
+	return top
+}
+
+// next peeks at the earliest pending event without removing it. The
+// second return is false when nothing is pending.
+func (e *Engine) next() (scheduledEvent, bool) {
+	if e.ringHead < len(e.ring) {
+		// Ring entries are at the current cycle, so nothing in the heap
+		// can precede them except a same-cycle event with a smaller seq.
+		if len(e.heap) > 0 && eventLess(e.heap[0], e.ring[e.ringHead]) {
+			return e.heap[0], true
+		}
+		return e.ring[e.ringHead], true
+	}
+	if len(e.heap) > 0 {
+		return e.heap[0], true
+	}
+	return scheduledEvent{}, false
+}
+
+// pop removes and returns the earliest pending event.
+func (e *Engine) pop() scheduledEvent {
+	if e.ringHead < len(e.ring) {
+		if len(e.heap) > 0 && eventLess(e.heap[0], e.ring[e.ringHead]) {
+			return e.popHeap()
+		}
+		ev := e.ring[e.ringHead]
+		e.ring[e.ringHead] = scheduledEvent{} // drop closure reference
+		e.ringHead++
+		if e.ringHead == len(e.ring) {
+			e.ring = e.ring[:0]
+			e.ringHead = 0
+		}
+		return ev
+	}
+	return e.popHeap()
+}
+
 // Step executes the earliest pending event, advancing Now to its cycle.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if e.events.Len() == 0 {
+	if e.Pending() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*scheduledEvent)
+	ev := e.pop()
 	e.now = ev.at
 	e.fired++
 	ev.fn()
@@ -123,7 +203,11 @@ func (e *Engine) Run() Cycle {
 // remain queued. It returns the engine's cycle after the last executed
 // event (or limit if the engine advanced past it with nothing to do).
 func (e *Engine) RunUntil(limit Cycle) Cycle {
-	for e.events.Len() > 0 && e.events[0].at <= limit {
+	for {
+		ev, ok := e.next()
+		if !ok || ev.at > limit {
+			break
+		}
 		e.Step()
 	}
 	if e.now < limit {
@@ -144,8 +228,8 @@ func (e *Engine) Advance(target Cycle) {
 	if target < e.now {
 		panic(fmt.Sprintf("sim: cannot advance backwards from %d to %d", e.now, target))
 	}
-	if e.events.Len() > 0 && e.events[0].at < target {
-		panic(fmt.Sprintf("sim: advancing to %d would skip event at %d", target, e.events[0].at))
+	if ev, ok := e.next(); ok && ev.at < target {
+		panic(fmt.Sprintf("sim: advancing to %d would skip event at %d", target, ev.at))
 	}
 	e.now = target
 }

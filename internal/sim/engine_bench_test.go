@@ -1,0 +1,60 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineScheduleRun measures the bulk schedule-then-drain
+// pattern of the open-loop experiments: many events at spread-out
+// cycles, then Run. The engine is Reset between iterations, so the
+// steady state is allocation-free.
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		for c := Cycle(0); c < 1024; c++ {
+			e.At(c*3, fn)
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkEngineAfterZero measures the same-cycle fast path: chains of
+// After(0) work, the pattern of zero-latency hand-offs.
+func BenchmarkEngineAfterZero(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		n := 0
+		var fn Event
+		fn = func() {
+			if n++; n < 256 {
+				e.After(0, fn)
+			}
+		}
+		e.After(1, fn)
+		e.Run()
+	}
+}
+
+// BenchmarkEngineMixed interleaves scheduling and stepping with
+// same-cycle ties, approximating the accelerator's event mix.
+func BenchmarkEngineMixed(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		for k := 0; k < 512; k++ {
+			e.At(Cycle(k%7)+e.Now(), fn)
+			if k%3 == 0 {
+				e.Step()
+			}
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,116 @@
+package sim
+
+import "testing"
+
+// These tests pin the edge semantics of RunUntil/Advance that the
+// workload runners depend on. They were written against the original
+// boxed-heap implementation before the queue was rewritten (PR 5) and
+// must keep passing unchanged.
+
+// Same-cycle work scheduled BY the last event inside RunUntil's limit
+// must fire within the same RunUntil call, even when that event sits
+// exactly at the limit: RunUntil re-examines the queue after every
+// step, so an After(0) cascade at the limit drains before now is
+// pinned to the limit.
+func TestRunUntilFiresSameCycleWorkAddedByLastEvent(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(10, func() {
+		order = append(order, 1)
+		e.After(0, func() {
+			order = append(order, 2)
+			e.After(0, func() { order = append(order, 3) })
+		})
+	})
+	e.RunUntil(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("After(0) cascade at the limit fired as %v, want [1 2 3]", order)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %d, want 10", e.Now())
+	}
+}
+
+// An event below the limit that schedules work beyond the limit leaves
+// that work queued; now lands on the limit, and the deferred work still
+// observes its own cycle when a later Run drains it.
+func TestRunUntilLeavesBeyondLimitWorkQueued(t *testing.T) {
+	e := NewEngine()
+	var fired []Cycle
+	e.At(5, func() {
+		e.After(20, func() { fired = append(fired, e.Now()) })
+	})
+	if got := e.RunUntil(12); got != 12 {
+		t.Fatalf("RunUntil returned %d, want 12", got)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 1 || fired[0] != 25 {
+		t.Fatalf("deferred event fired at %v, want [25]", fired)
+	}
+}
+
+// After RunUntil pins now to the limit, scheduling At(limit) is legal
+// (not "the past") and such events fire at the limit, FIFO after any
+// already-queued same-cycle events.
+func TestRunUntilThenScheduleAtLimit(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 1) })
+	e.RunUntil(20)
+	e.At(20, func() { order = append(order, 0) })
+	e.Run()
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("order = %v, want [0 1]", order)
+	}
+}
+
+// RunUntil with a limit behind now is a no-op that reports the current
+// (unchanged) cycle.
+func TestRunUntilBehindNowIsNoOp(t *testing.T) {
+	e := NewEngine()
+	e.Advance(50)
+	if got := e.RunUntil(10); got != 50 {
+		t.Fatalf("RunUntil(10) after Advance(50) returned %d, want 50", got)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now() = %d, want 50", e.Now())
+	}
+}
+
+// Advance allows landing exactly ON a pending event's cycle (only
+// strictly-earlier events may not be skipped), and that event then
+// fires at its cycle.
+func TestAdvanceOntoPendingEventCycle(t *testing.T) {
+	e := NewEngine()
+	var at Cycle
+	e.At(40, func() { at = e.Now() })
+	e.Advance(40) // must not panic: nothing is skipped
+	if e.Now() != 40 {
+		t.Fatalf("Now() = %d, want 40", e.Now())
+	}
+	e.Run()
+	if at != 40 {
+		t.Fatalf("event fired at %d, want 40", at)
+	}
+}
+
+// A top-level After(0) fires at the current cycle without moving the
+// clock, and same-cycle FIFO holds across the heap/fast-path boundary:
+// events queued At(now) earlier still fire before a later After(0).
+func TestAfterZeroFiresAtCurrentCycle(t *testing.T) {
+	e := NewEngine()
+	e.Advance(7)
+	var order []int
+	e.At(7, func() { order = append(order, 0) })
+	e.After(0, func() { order = append(order, 1) })
+	e.Run()
+	if e.Now() != 7 {
+		t.Fatalf("Now() = %d, want 7", e.Now())
+	}
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("order = %v, want [0 1]", order)
+	}
+}

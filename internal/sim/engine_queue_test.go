@@ -1,0 +1,272 @@
+package sim
+
+// Property test for the value-heap + same-cycle-ring event queue: its
+// observable firing order must match the original boxed container/heap
+// implementation on randomized seeded schedules, including same-cycle
+// FIFO ties, nested scheduling from inside events, RunUntil windows,
+// and engine reuse via Reset.
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refEvent / refHeap / refEngine reproduce the pre-PR-5 boxed-heap
+// engine verbatim (minus the unexercised helpers); they are the
+// ordering oracle.
+type refEvent struct {
+	at    Cycle
+	seq   uint64
+	fn    Event
+	index int
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *refHeap) Push(x any) {
+	ev := x.(*refEvent)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+type refEngine struct {
+	now    Cycle
+	seq    uint64
+	events refHeap
+}
+
+func (e *refEngine) At(at Cycle, fn Event) {
+	if at < e.now {
+		panic("ref: past")
+	}
+	heap.Push(&e.events, &refEvent{at: at, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+func (e *refEngine) Step() bool {
+	if e.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*refEvent)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+func (e *refEngine) RunUntil(limit Cycle) {
+	for e.events.Len() > 0 && e.events[0].at <= limit {
+		e.Step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+}
+
+func (e *refEngine) Run() {
+	for e.Step() {
+	}
+}
+
+// schedStep is one action of a generated schedule. Both engines replay
+// the same schedule; events append (id, firing cycle) to a log.
+type schedStep struct {
+	delay  Cycle // scheduling offset from now at execution time
+	id     int
+	nested int // how many follow-up events this event schedules
+}
+
+// genSchedule builds a deterministic random schedule from seed.
+func genSchedule(rng *rand.Rand, n int) []schedStep {
+	steps := make([]schedStep, n)
+	for i := range steps {
+		d := Cycle(rng.Intn(8)) // small range forces same-cycle ties
+		if rng.Intn(4) == 0 {
+			d = 0 // extra After(0) pressure
+		}
+		steps[i] = schedStep{delay: d, id: i, nested: rng.Intn(3)}
+	}
+	return steps
+}
+
+type fireLog struct {
+	entries []struct {
+		id int
+		at Cycle
+	}
+}
+
+func (l *fireLog) hit(id int, at Cycle) {
+	l.entries = append(l.entries, struct {
+		id int
+		at Cycle
+	}{id, at})
+}
+
+// replay drives a schedule through either engine via the tiny scheduler
+// interface both satisfy.
+type queueLike interface {
+	At(Cycle, Event)
+	Step() bool
+}
+
+func replay(t *testing.T, q queueLike, nowOf func() Cycle, steps []schedStep, rng *rand.Rand, log *fireLog) {
+	var spawn func(s schedStep, depth int)
+	spawn = func(s schedStep, depth int) {
+		at := nowOf() + s.delay
+		q.At(at, func() {
+			log.hit(s.id, nowOf())
+			if depth < 3 {
+				for k := 0; k < s.nested; k++ {
+					spawn(schedStep{
+						delay:  Cycle(rng.Intn(5)),
+						id:     s.id*10 + k + 1,
+						nested: s.nested - 1,
+					}, depth+1)
+				}
+			}
+		})
+	}
+	for _, s := range steps {
+		spawn(s, 0)
+		// Interleave partial draining so scheduling happens at varied
+		// current cycles, not just cycle 0.
+		if rng.Intn(3) == 0 {
+			q.Step()
+		}
+	}
+	for q.Step() {
+	}
+}
+
+func sameLogs(a, b *fireLog) bool {
+	if len(a.entries) != len(b.entries) {
+		return false
+	}
+	for i := range a.entries {
+		if a.entries[i] != b.entries[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQueueMatchesBoxedHeapReference(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		steps := genSchedule(rand.New(rand.NewSource(seed)), 60)
+
+		var refLog fireLog
+		ref := &refEngine{}
+		replay(t, ref, func() Cycle { return ref.now }, steps, rand.New(rand.NewSource(seed+1000)), &refLog)
+
+		var newLog fireLog
+		e := NewEngine()
+		replay(t, e, func() Cycle { return e.Now() }, steps, rand.New(rand.NewSource(seed+1000)), &newLog)
+
+		if !sameLogs(&refLog, &newLog) {
+			t.Fatalf("seed %d: firing order diverges from boxed-heap reference\nref: %v\nnew: %v",
+				seed, refLog.entries, newLog.entries)
+		}
+		if e.Now() != ref.now {
+			t.Fatalf("seed %d: final cycle %d, reference %d", seed, e.Now(), ref.now)
+		}
+	}
+}
+
+// A Reset engine must behave exactly like a fresh one, including on
+// schedules that stress the same-cycle ring.
+func TestResetReuseMatchesFreshEngine(t *testing.T) {
+	reused := NewEngine()
+	for seed := int64(0); seed < 20; seed++ {
+		steps := genSchedule(rand.New(rand.NewSource(seed)), 40)
+
+		var freshLog fireLog
+		fresh := NewEngine()
+		replay(t, fresh, func() Cycle { return fresh.Now() }, steps, rand.New(rand.NewSource(seed+2000)), &freshLog)
+
+		reused.Reset()
+		var reusedLog fireLog
+		replay(t, reused, func() Cycle { return reused.Now() }, steps, rand.New(rand.NewSource(seed+2000)), &reusedLog)
+
+		if !sameLogs(&freshLog, &reusedLog) {
+			t.Fatalf("seed %d: reused engine diverges from fresh engine", seed)
+		}
+		if reused.Now() != fresh.Now() || reused.Fired() != fresh.Fired() {
+			t.Fatalf("seed %d: reused end state (now %d, fired %d) != fresh (now %d, fired %d)",
+				seed, reused.Now(), reused.Fired(), fresh.Now(), fresh.Fired())
+		}
+	}
+}
+
+// Reset discards pending events and restores a zero-state engine.
+func TestResetDiscardsPending(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() { t.Fatal("stale event fired after Reset") })
+	e.Advance(5)
+	e.After(0, func() { t.Fatal("stale ring event fired after Reset") })
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 || e.Fired() != 0 {
+		t.Fatalf("Reset left now=%d pending=%d fired=%d", e.Now(), e.Pending(), e.Fired())
+	}
+	fired := false
+	e.At(3, func() { fired = true })
+	e.Run()
+	if !fired || e.Now() != 3 {
+		t.Fatalf("engine unusable after Reset: fired=%v now=%d", fired, e.Now())
+	}
+}
+
+// RunUntil windows must agree with the reference across random limits.
+func TestRunUntilWindowsMatchReference(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ref := &refEngine{}
+		e := NewEngine()
+		var refLog, newLog fireLog
+		for i := 0; i < 40; i++ {
+			at := Cycle(rng.Intn(100))
+			id := i
+			if at >= ref.now {
+				ref.At(at, func() { refLog.hit(id, ref.now) })
+			}
+			if at >= e.Now() {
+				e.At(at, func() { newLog.hit(id, e.Now()) })
+			}
+			if rng.Intn(4) == 0 {
+				limit := Cycle(rng.Intn(120))
+				if limit >= ref.now {
+					ref.RunUntil(limit)
+					e.RunUntil(limit)
+				}
+			}
+		}
+		ref.Run()
+		e.Run()
+		if !sameLogs(&refLog, &newLog) {
+			t.Fatalf("seed %d: RunUntil firing order diverges", seed)
+		}
+		if e.Now() != ref.now {
+			t.Fatalf("seed %d: final cycle %d, reference %d", seed, e.Now(), ref.now)
+		}
+	}
+}

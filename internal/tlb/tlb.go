@@ -36,16 +36,22 @@ func L1TLBConfig() Config {
 }
 
 // TLB is a set-associative translation cache with true-LRU replacement.
+//
+// Tag and LRU state are flat arrays indexed set*ways+way, and the set
+// index is an AND when the set count is a power of two (every
+// configuration here) — same layout rationale as cache.Cache.
 type TLB struct {
-	cfg     Config
-	sets    int
-	ways    int
-	tags    [][]uint64 // virtual page numbers; ^0 = invalid
-	lru     [][]uint64 // higher = more recent
-	stamp   uint64
-	hits    uint64
-	misses  uint64
-	flushes uint64
+	cfg      Config
+	sets     int
+	ways     int
+	setMask  uint64
+	setsPow2 bool
+	tags     []uint64 // virtual page numbers; ^0 = invalid
+	lru      []uint64 // higher = more recent
+	stamp    uint64
+	hits     uint64
+	misses   uint64
+	flushes  uint64
 	// fi may force a shootdown-flush ahead of a lookup (see
 	// SetFaultInjector); nil disables injection.
 	fi *faultinject.Injector
@@ -58,16 +64,23 @@ func New(cfg Config) *TLB {
 	}
 	sets := cfg.Entries / cfg.Ways
 	t := &TLB{cfg: cfg, sets: sets, ways: cfg.Ways}
-	t.tags = make([][]uint64, sets)
-	t.lru = make([][]uint64, sets)
+	if sets&(sets-1) == 0 {
+		t.setsPow2 = true
+		t.setMask = uint64(sets - 1)
+	}
+	t.tags = make([]uint64, cfg.Entries)
+	t.lru = make([]uint64, cfg.Entries)
 	for i := range t.tags {
-		t.tags[i] = make([]uint64, cfg.Ways)
-		t.lru[i] = make([]uint64, cfg.Ways)
-		for w := range t.tags[i] {
-			t.tags[i][w] = ^uint64(0)
-		}
+		t.tags[i] = ^uint64(0)
 	}
 	return t
+}
+
+func (t *TLB) setIndex(vp uint64) uint64 {
+	if t.setsPow2 {
+		return vp & t.setMask
+	}
+	return vp % uint64(t.sets)
 }
 
 // Config returns the TLB geometry.
@@ -87,11 +100,11 @@ func (t *TLB) Lookup(a mem.VAddr) (hit bool, latency uint64) {
 		t.Flush()
 	}
 	vp := a.Page()
-	set := vp % uint64(t.sets)
-	for w, tag := range t.tags[set] {
+	base := int(t.setIndex(vp)) * t.ways
+	for i, tag := range t.tags[base : base+t.ways] {
 		if tag == vp {
 			t.stamp++
-			t.lru[set][w] = t.stamp
+			t.lru[base+i] = t.stamp
 			t.hits++
 			return true, t.cfg.HitLatency
 		}
@@ -104,32 +117,30 @@ func (t *TLB) Lookup(a mem.VAddr) (hit bool, latency uint64) {
 // least-recently-used way of its set if needed.
 func (t *TLB) Insert(a mem.VAddr) {
 	vp := a.Page()
-	set := vp % uint64(t.sets)
+	base := int(t.setIndex(vp)) * t.ways
 	victim := 0
 	oldest := ^uint64(0)
-	for w, tag := range t.tags[set] {
+	for i, tag := range t.tags[base : base+t.ways] {
 		if tag == vp {
 			t.stamp++
-			t.lru[set][w] = t.stamp
+			t.lru[base+i] = t.stamp
 			return
 		}
-		if t.lru[set][w] < oldest {
-			oldest = t.lru[set][w]
-			victim = w
+		if t.lru[base+i] < oldest {
+			oldest = t.lru[base+i]
+			victim = i
 		}
 	}
 	t.stamp++
-	t.tags[set][victim] = vp
-	t.lru[set][victim] = t.stamp
+	t.tags[base+victim] = vp
+	t.lru[base+victim] = t.stamp
 }
 
 // Flush invalidates every entry (context switch / interrupt handling).
 func (t *TLB) Flush() {
 	for i := range t.tags {
-		for w := range t.tags[i] {
-			t.tags[i][w] = ^uint64(0)
-			t.lru[i][w] = 0
-		}
+		t.tags[i] = ^uint64(0)
+		t.lru[i] = 0
 	}
 	t.flushes++
 }

@@ -75,6 +75,7 @@ func (d DPDK) Build(m *machine.Machine) (*Plan, error) {
 		want[i] = j
 	}
 	addrs := stageKeys(m, probeKeys)
+	var keyBuf []byte
 	plan := &Plan{
 		Name: d.Name(),
 		// Packet RX/parse/TX around each lookup: header parsing, checksum
@@ -83,8 +84,8 @@ func (d DPDK) Build(m *machine.Machine) (*Plan, error) {
 		NonROILoadEvery: 8,
 		Scratch:         m.AS.AllocLines(4096),
 		scratchSize:     4096,
-		BaselineTrace: func(mm *machine.Machine, p Probe) (isa.Trace, foundValue, error) {
-			r, err := baseline.QueryCuckoo(mm.AS, p.Header, readKeyAt(mm, p))
+		BaselineTrace: func(mm *machine.Machine, q *baseline.Querier, p Probe) (isa.Trace, foundValue, error) {
+			r, err := q.QueryCuckoo(mm.AS, p.Header, readKeyAt(mm, p, &keyBuf))
 			return r.Trace, foundValue{r.Found, r.Value}, err
 		},
 	}
@@ -104,8 +105,12 @@ func (d DPDK) Build(m *machine.Machine) (*Plan, error) {
 	return plan, nil
 }
 
-// readKeyAt fetches a probe's key bytes back out of simulated memory.
-func readKeyAt(m *machine.Machine, p Probe) []byte {
+// readKeyAt fetches a probe's key bytes back out of simulated memory
+// into a caller-owned buffer (grown as needed). Each plan's
+// BaselineTrace closure captures its own buffer, so the key stays valid
+// while the query routine runs — distinct from the Querier's internal
+// stored-key scratch.
+func readKeyAt(m *machine.Machine, p Probe, buf *[]byte) []byte {
 	n := int(p.KeyLen)
 	if n == 0 {
 		h, err := dstruct.ReadHeader(m.AS, p.Header)
@@ -114,7 +119,10 @@ func readKeyAt(m *machine.Machine, p Probe) []byte {
 		}
 		n = int(h.KeyLen)
 	}
-	k := make([]byte, n)
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
+	}
+	k := (*buf)[:n]
 	m.AS.MustRead(p.Key, k)
 	return k
 }
@@ -151,6 +159,7 @@ func (j JVM) Build(m *machine.Machine) (*Plan, error) {
 		want[i] = k
 	}
 	addrs := stageKeys(m, probeKeys)
+	var keyBuf []byte
 	plan := &Plan{
 		Name: j.Name(),
 		// Mutator work interleaved between GC mark queries (allocation,
@@ -159,8 +168,8 @@ func (j JVM) Build(m *machine.Machine) (*Plan, error) {
 		NonROILoadEvery: 10,
 		Scratch:         m.AS.AllocLines(4096),
 		scratchSize:     4096,
-		BaselineTrace: func(mm *machine.Machine, p Probe) (isa.Trace, foundValue, error) {
-			r, err := baseline.QueryBST(mm.AS, p.Header, readKeyAt(mm, p))
+		BaselineTrace: func(mm *machine.Machine, q *baseline.Querier, p Probe) (isa.Trace, foundValue, error) {
+			r, err := q.QueryBST(mm.AS, p.Header, readKeyAt(mm, p, &keyBuf))
 			return r.Trace, foundValue{r.Found, r.Value}, err
 		},
 	}
@@ -218,6 +227,7 @@ func (r RocksDB) Build(m *machine.Machine) (*Plan, error) {
 		want[i] = k
 	}
 	addrs := stageKeys(m, probeKeys)
+	var keyBuf []byte
 	plan := &Plan{
 		Name: r.Name(),
 		// The paper singles RocksDB out: its seek loop carries a lot of
@@ -227,8 +237,8 @@ func (r RocksDB) Build(m *machine.Machine) (*Plan, error) {
 		NonROILoadEvery: 6,
 		Scratch:         m.AS.AllocLines(8192),
 		scratchSize:     8192,
-		BaselineTrace: func(mm *machine.Machine, p Probe) (isa.Trace, foundValue, error) {
-			res, err := baseline.QuerySkipList(mm.AS, p.Header, readKeyAt(mm, p))
+		BaselineTrace: func(mm *machine.Machine, q *baseline.Querier, p Probe) (isa.Trace, foundValue, error) {
+			res, err := q.QuerySkipList(mm.AS, p.Header, readKeyAt(mm, p, &keyBuf))
 			return res.Trace, foundValue{res.Found, res.Value}, err
 		},
 	}
@@ -292,6 +302,7 @@ func (s Snort) Build(m *machine.Machine) (*Plan, error) {
 	}
 	trie := dstruct.BuildTrie(m.AS, kws, vals)
 
+	var keyBuf []byte
 	plan := &Plan{
 		Name: s.Name(),
 		// Per-payload packet handling around the scan: decode,
@@ -300,10 +311,9 @@ func (s Snort) Build(m *machine.Machine) (*Plan, error) {
 		NonROILoadEvery: 8,
 		Scratch:         m.AS.AllocLines(8192),
 		scratchSize:     8192,
-		BaselineTrace: func(mm *machine.Machine, p Probe) (isa.Trace, foundValue, error) {
-			input := make([]byte, p.KeyLen)
-			mm.AS.MustRead(p.Key, input)
-			res, err := baseline.ScanTrie(mm.AS, p.Header, input)
+		BaselineTrace: func(mm *machine.Machine, q *baseline.Querier, p Probe) (isa.Trace, foundValue, error) {
+			input := readKeyAt(mm, p, &keyBuf)
+			res, err := q.ScanTrie(mm.AS, p.Header, input)
 			var last uint64
 			if n := len(res.Matches); n > 0 {
 				last = res.Matches[n-1]
@@ -384,6 +394,7 @@ func (f FLANN) Build(m *machine.Machine) (*Plan, error) {
 		headers[t] = ht.HeaderAddr
 	}
 	rng := rand.New(rand.NewSource(f.Seed + 1))
+	var keyBuf []byte
 	plan := &Plan{
 		Name: f.Name(),
 		// Feature extraction and exact-distance verification of the
@@ -392,8 +403,8 @@ func (f FLANN) Build(m *machine.Machine) (*Plan, error) {
 		NonROILoadEvery: 7,
 		Scratch:         m.AS.AllocLines(8192),
 		scratchSize:     8192,
-		BaselineTrace: func(mm *machine.Machine, p Probe) (isa.Trace, foundValue, error) {
-			r, err := baseline.QueryHashTable(mm.AS, p.Header, readKeyAt(mm, p))
+		BaselineTrace: func(mm *machine.Machine, q *baseline.Querier, p Probe) (isa.Trace, foundValue, error) {
+			r, err := q.QueryHashTable(mm.AS, p.Header, readKeyAt(mm, p, &keyBuf))
 			return r.Trace, foundValue{r.Found, r.Value}, err
 		},
 	}
@@ -454,14 +465,15 @@ func (t TupleSpace) Build(m *machine.Machine) (*Plan, error) {
 		headers[ti] = ck.HeaderAddr
 	}
 	rng := rand.New(rand.NewSource(t.Seed + 1))
+	var keyBuf []byte
 	plan := &Plan{
 		Name:            t.Name(),
 		NonROIOps:       100,
 		NonROILoadEvery: 8,
 		Scratch:         m.AS.AllocLines(4096),
 		scratchSize:     4096,
-		BaselineTrace: func(mm *machine.Machine, p Probe) (isa.Trace, foundValue, error) {
-			r, err := baseline.QueryCuckoo(mm.AS, p.Header, readKeyAt(mm, p))
+		BaselineTrace: func(mm *machine.Machine, q *baseline.Querier, p Probe) (isa.Trace, foundValue, error) {
+			r, err := q.QueryCuckoo(mm.AS, p.Header, readKeyAt(mm, p, &keyBuf))
 			return r.Trace, foundValue{r.Found, r.Value}, err
 		},
 	}

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"qei/internal/cfa"
 	"qei/internal/isa"
@@ -11,6 +12,34 @@ import (
 	"qei/internal/scheme"
 	"qei/internal/sim"
 )
+
+// enginePool recycles event engines across open-loop jobs so the
+// parallel runner's workers schedule on warmed queue arrays instead of
+// growing fresh ones per point. Engines are interchangeable after
+// Reset (sim.TestResetReuseMatchesFreshEngine pins this), so which
+// worker gets which engine cannot affect results.
+var enginePool = struct {
+	sync.Mutex
+	free []*sim.Engine
+}{}
+
+func getEngine() *sim.Engine {
+	enginePool.Lock()
+	defer enginePool.Unlock()
+	if n := len(enginePool.free); n > 0 {
+		e := enginePool.free[n-1]
+		enginePool.free = enginePool.free[:n-1]
+		return e
+	}
+	return sim.NewEngine()
+}
+
+func putEngine(e *sim.Engine) {
+	e.Reset()
+	enginePool.Lock()
+	defer enginePool.Unlock()
+	enginePool.free = append(enginePool.free, e)
+}
 
 // Open-loop latency experiment. The paper motivates QEI with
 // latency-sensitive serving (Sec. II-B, Challenge 2: "the jitters and
@@ -68,7 +97,8 @@ func OpenLoopLatency(bench Benchmark, kind scheme.Kind, interarrival uint64, que
 		queries = len(probes)
 	}
 
-	eng := sim.NewEngine()
+	eng := getEngine()
+	defer putEngine(eng)
 	latencies := make([]uint64, 0, queries)
 	profile := LatencyProfile{Scheme: kind.String(), Interarrival: interarrival, Queries: queries}
 

@@ -17,6 +17,7 @@ package workload
 import (
 	"fmt"
 
+	"qei/internal/baseline"
 	"qei/internal/cfa"
 	"qei/internal/cpu"
 	"qei/internal/isa"
@@ -66,8 +67,11 @@ type Plan struct {
 	NonROILoadEvery int
 	Scratch         mem.VAddr
 	scratchSize     uint64
-	// BaselineTrace renders the software routine for one probe.
-	BaselineTrace func(m *machine.Machine, p Probe) (isa.Trace, foundValue, error)
+	// BaselineTrace renders the software routine for one probe through
+	// the run's baseline.Querier arena. The returned trace shares the
+	// arena's storage and is only valid until the next probe — callers
+	// append (copy) it immediately.
+	BaselineTrace func(m *machine.Machine, q *baseline.Querier, p Probe) (isa.Trace, foundValue, error)
 }
 
 // foundValue is a probe outcome for verification.
@@ -275,15 +279,21 @@ func RunBaseline(bench Benchmark, mode Mode, opts ...RunOption) (Run, error) {
 	core := m.NewCore(0, nil)
 	run := Run{Name: plan.Name, Mode: mode, Scheme: "software"}
 
+	// One builder and one querier arena serve every request: the core
+	// consumes each trace synchronously in Run, so the builder's storage
+	// is reusable immediately after (Reset keeps register numbering
+	// byte-identical to a fresh builder).
+	b := isa.NewBuilder()
+	q := baseline.NewQuerier()
 	pass := func(reqs []Request, count bool) error {
 		for i, req := range reqs {
-			b := isa.NewBuilder()
+			b.Reset()
 			if mode != ROIOnly {
 				emitNonROI(b, plan, i, 0)
 			}
 			if mode != NonROIOnly {
 				for _, p := range req.Probes {
-					tr, want, err := plan.BaselineTrace(m, p)
+					tr, want, err := plan.BaselineTrace(m, q, p)
 					if err != nil {
 						return err
 					}
@@ -296,7 +306,7 @@ func RunBaseline(bench Benchmark, mode Mode, opts ...RunOption) (Run, error) {
 					b.Append(tr)
 				}
 			}
-			core.Run(b.Take())
+			core.Run(b.Ops())
 			if core.Err() != nil {
 				return core.Err()
 			}
@@ -373,14 +383,23 @@ func RunQEIWithParams(bench Benchmark, params scheme.Params, mode Mode, opts ...
 		}
 	}
 	prevFound := true
+	// One builder and one result-register scratch serve every batch; the
+	// core consumes each trace synchronously, so both are reusable as
+	// soon as Run returns.
+	b := isa.NewBuilder()
+	var resultScratch []isa.Reg
 	pass := func(reqs []Request, count bool) error {
 		for start := 0; start < len(reqs); start += batch {
 			end := start + batch
 			if end > len(reqs) {
 				end = len(reqs)
 			}
-			b := isa.NewBuilder()
-			resultReg := make([]isa.Reg, end-start)
+			b.Reset()
+			if cap(resultScratch) < end-start {
+				resultScratch = make([]isa.Reg, end-start)
+			}
+			resultReg := resultScratch[:end-start]
+			clear(resultReg)
 			if mode != NonROIOnly {
 				for ri := start; ri < end; ri++ {
 					for _, p := range reqs[ri].Probes {
@@ -419,7 +438,7 @@ func RunQEIWithParams(bench Benchmark, params scheme.Params, mode Mode, opts ...
 					emitNonROI(b, plan, ri, resultReg[ri-start])
 				}
 			}
-			core.Run(b.Take())
+			core.Run(b.Ops())
 			if core.Err() != nil {
 				return core.Err()
 			}
@@ -521,8 +540,11 @@ func RunQEINonBlocking(bench Benchmark, kind scheme.Kind, batch int, opts ...Run
 	}
 	var pending []expect
 
+	// One builder serves every batch (the core consumes each trace
+	// synchronously in Run).
+	b := isa.NewBuilder()
 	flushBatch := func(batchReqs []Request, firstIdx int, count bool) error {
-		b := isa.NewBuilder()
+		b.Reset()
 		slot := 0
 		for ri, req := range batchReqs {
 			emitNonROI(b, plan, firstIdx+ri, 0)
@@ -552,7 +574,7 @@ func RunQEINonBlocking(bench Benchmark, kind scheme.Kind, batch int, opts ...Run
 				b.Branch(r, pass == 1 && s+8 >= slot)
 			}
 		}
-		core.Run(b.Take())
+		core.Run(b.Ops())
 		return core.Err()
 	}
 
