@@ -25,6 +25,16 @@ func WithWindow(n int) BatchOption {
 // paper's Fig. 10 evaluation, packaged as one call. Results are
 // returned in key order; per-query faults are reported in Result.Err,
 // and the issue clock ends at the last completion.
+//
+// Over-capacity contract: len(keys) may exceed the QST capacity by any
+// factor. The batch admits at most min(capacity, WithWindow) queries at
+// a time and drains its own oldest completion before each further
+// issue, so QueryBatch never returns ErrQSTFull for its own queries —
+// the bound is handled internally, and every key gets exactly one
+// result, in key order (pinned by TestQueryBatchOverCapacity). When
+// queries outside the batch already occupy QST entries, the batch
+// additionally waits for those foreign completions as needed; ErrQSTFull
+// can then surface only if the foreign entries can never complete.
 func (s *System) QueryBatch(t Table, keys [][]byte, opts ...BatchOption) ([]Result, error) {
 	cfg := batchConfig{}
 	for _, o := range opts {

@@ -1,0 +1,96 @@
+package qei
+
+import (
+	"fmt"
+
+	"qei/internal/dstruct"
+	"qei/internal/mem"
+)
+
+// BuildOption configures the generic Build entrypoint for the structure
+// kinds that take extra parameters.
+type BuildOption func(*buildConfig)
+
+type buildConfig struct {
+	payload int
+}
+
+// WithBSTPayload sets the per-node object-body byte count of a KindBST
+// build (the JVM object-tree shape). Other kinds ignore it. Default 0.
+func WithBSTPayload(n int) BuildOption {
+	return func(c *buildConfig) { c.payload = n }
+}
+
+// Build is the generic table constructor: one entrypoint for every
+// built-in structure kind, selected by StructKind — the serving layer's
+// backend adapters and any kind-parameterized caller use it instead of
+// switching over the seven typed Build* methods (which are thin
+// wrappers around this).
+//
+// keys must share one length; values[i] is reported when keys[i]
+// matches. For KindTrie the keys are the dictionary's keywords
+// (variable length, values non-zero) and the table answers Scan
+// queries. KindBST takes WithBSTPayload. KindCustom has no generic
+// builder — register firmware and lay the structure out explicitly —
+// and unknown kinds return ErrUnknownKind.
+func (s *System) Build(kind StructKind, keys [][]byte, values []uint64, opts ...BuildOption) (Table, error) {
+	cfg := buildConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if kind == KindTrie {
+		return s.buildTrie(keys, values)
+	}
+	if kind == KindCustom {
+		return Table{}, fmt.Errorf("qei: %w: custom firmware tables have no generic builder", ErrUnknownKind)
+	}
+	if err := validateKV(keys, values); err != nil {
+		return Table{}, err
+	}
+	var header mem.VAddr
+	var keyLen uint16
+	switch kind {
+	case KindCuckoo:
+		c := dstruct.BuildCuckoo(s.m.AS, uint64(len(keys)/2), 8, 0x9E37, keys, values)
+		header, keyLen = c.HeaderAddr, c.KeyLen
+	case KindHashTable:
+		h := dstruct.BuildHashTable(s.m.AS, uint64(len(keys)/4), 0x51ED, keys, values)
+		header, keyLen = h.HeaderAddr, h.KeyLen
+	case KindSkipList:
+		sl := dstruct.BuildSkipList(s.m.AS, 7, keys, values)
+		header, keyLen = sl.HeaderAddr, sl.KeyLen
+	case KindBST:
+		if cfg.payload < 0 {
+			return Table{}, fmt.Errorf("qei: negative payload %d", cfg.payload)
+		}
+		b := dstruct.BuildBST(s.m.AS, 7, cfg.payload, keys, values)
+		header, keyLen = b.HeaderAddr, b.KeyLen
+	case KindLinkedList:
+		l := dstruct.BuildLinkedList(s.m.AS, keys, values)
+		header, keyLen = l.HeaderAddr, l.KeyLen
+	case KindBTree:
+		bt := dstruct.BuildBTree(s.m.AS, 16, keys, values)
+		header, keyLen = bt.HeaderAddr, bt.KeyLen
+	default:
+		return Table{}, fmt.Errorf("qei: %w: %s", ErrUnknownKind, kind)
+	}
+	return Table{header: header, Kind: kind, KeyLen: int(keyLen)}, nil
+}
+
+// buildTrie is the trie arm of Build (and the body of BuildTrie): keys
+// are the dictionary keywords, values the non-zero match reports.
+func (s *System) buildTrie(keywords [][]byte, values []uint64) (Table, error) {
+	if len(keywords) != len(values) {
+		return Table{}, fmt.Errorf("qei: %d keywords but %d values", len(keywords), len(values))
+	}
+	if len(keywords) == 0 {
+		return Table{}, fmt.Errorf("qei: empty dictionary")
+	}
+	for i, v := range values {
+		if v == 0 {
+			return Table{}, fmt.Errorf("qei: value %d is zero (reserved for no-match)", i)
+		}
+	}
+	tr := dstruct.BuildTrie(s.m.AS, keywords, values)
+	return Table{header: tr.HeaderAddr, Kind: KindTrie, KeyLen: 1}, nil
+}

@@ -41,4 +41,18 @@ QEI_BENCH_GUARD=1 go test -run '^TestBenchGuard$' -count=1 -short .
 # process (qeisim exits non-zero otherwise).
 go run ./cmd/qeisim -faults "7:flip=0.05,nocdelay=0.1,nocdrop=0.05,shootdown=0.1,spurious=0.05,evict=0.1"
 
+# Serve smoke: a small multi-tenant run through BOTH serving backends
+# must emit machine-readable per-tenant percentiles. Checks that the
+# JSON carries p99 fields and one report per backend.
+serve_json=$(go run ./cmd/qeiserve -backend both -tenants 2 -requests 60 -keys 32 -json)
+for needle in '"p99"' '"backend": "qei"' '"backend": "baseline"' '"slo_violations"'; do
+	case "$serve_json" in
+	*"$needle"*) ;;
+	*)
+		echo "serve-smoke: missing $needle in qeiserve -json output" >&2
+		exit 1
+		;;
+	esac
+done
+
 echo "ci: ok"

@@ -1,0 +1,197 @@
+// Command qeiserve runs the multi-tenant serving frontend: a seeded
+// open-loop request stream over N Zipf-skewed tenants, served on a
+// simulated machine by either the QEI accelerator or the software
+// baseline walker behind the same Backend interface, with per-tenant
+// QST admission and latency-percentile/SLO accounting.
+//
+// Usage:
+//
+//	qeiserve [-backend qei|baseline|both] [-tenants N] [-requests N]
+//	         [-keys N] [-keylen N] [-kind cuckoo|bst|...] [-zipf S]
+//	         [-keyzipf S] [-gap CYCLES] [-slo CYCLES] [-slots N]
+//	         [-seed N] [-scheme core|cha-tlb|...] [-genparallel N]
+//	         [-record FILE | -replay FILE] [-json]
+//
+// -record writes the generated stream as a JSONL trace before serving
+// it; -replay serves a previously recorded trace instead of generating
+// one (its embedded generation config reproduces the exact tables, so
+// the replayed run is byte-identical to the run that recorded it).
+// -backend both serves the identical stream through each backend in
+// turn, one fresh machine per backend. -json emits the full per-tenant
+// reports (p50/p99/p999, SLO violations, throttle counts) as a single
+// machine-readable document.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"qei"
+	"qei/internal/serve"
+)
+
+func fail(format string, v ...any) {
+	fmt.Fprintf(os.Stderr, "qeiserve: "+format+"\n", v...)
+	os.Exit(1)
+}
+
+func parseScheme(name string) (qei.Scheme, bool) {
+	switch name {
+	case "core":
+		return qei.CoreIntegrated, true
+	case "cha-tlb":
+		return qei.CHATLB, true
+	case "cha-notlb":
+		return qei.CHANoTLB, true
+	case "device-direct":
+		return qei.DeviceDirect, true
+	case "device-indirect":
+		return qei.DeviceIndirect, true
+	}
+	return 0, false
+}
+
+// output is the -json document: the shared stream description plus one
+// report per backend that served it.
+type output struct {
+	Experiment string          `json:"experiment"`
+	Scheme     string          `json:"scheme"`
+	Gen        serve.GenConfig `json:"gen"`
+	Reports    []*serve.Report `json:"reports"`
+}
+
+func main() {
+	def := qei.DefaultServingConfig()
+	backendFlag := flag.String("backend", "qei", `backend: "qei", "baseline", or "both"`)
+	tenantsFlag := flag.Int("tenants", def.Tenants, "tenant count")
+	requestsFlag := flag.Int("requests", def.Requests, "total request count across tenants")
+	keysFlag := flag.Int("keys", def.KeysPerTenant, "keys per tenant table")
+	keyLenFlag := flag.Int("keylen", def.KeyLen, "key length in bytes (>= 8)")
+	kindFlag := flag.String("kind", def.Kind.String(), "tenant table structure kind")
+	zipfFlag := flag.Float64("zipf", def.TenantSkew, "Zipf skew of tenant popularity")
+	keyZipfFlag := flag.Float64("keyzipf", def.KeySkew, "Zipf skew of per-tenant key popularity")
+	gapFlag := flag.Uint64("gap", def.MeanGap, "mean inter-arrival gap in cycles (open loop)")
+	sloFlag := flag.Uint64("slo", def.SLO, "per-request latency SLO in cycles; 0 disables")
+	slotsFlag := flag.Int("slots", 0, "in-flight QST slots per tenant; 0 = capacity/tenants")
+	seedFlag := flag.Int64("seed", def.Seed, "stream and machine seed")
+	schemeFlag := flag.String("scheme", "core", "integration scheme: core, cha-tlb, cha-notlb, device-direct, device-indirect")
+	genParFlag := flag.Int("genparallel", 0, "workers for stream generation; 0 = GOMAXPROCS (output identical at any value)")
+	recordFlag := flag.String("record", "", "write the generated stream to this JSONL trace file before serving")
+	replayFlag := flag.String("replay", "", "serve a recorded JSONL trace instead of generating a stream")
+	jsonFlag := flag.Bool("json", false, "emit the per-tenant reports as machine-readable JSON")
+	flag.Parse()
+
+	scheme, ok := parseScheme(*schemeFlag)
+	if !ok {
+		fail("unknown scheme %q", *schemeFlag)
+	}
+	kind, err := qei.ParseStructKind(*kindFlag)
+	if err != nil {
+		fail("%v", err)
+	}
+	cfg := qei.ServingConfig{
+		Scheme:         scheme,
+		Tenants:        *tenantsFlag,
+		Requests:       *requestsFlag,
+		KeysPerTenant:  *keysFlag,
+		KeyLen:         *keyLenFlag,
+		Kind:           kind,
+		TenantSkew:     *zipfFlag,
+		KeySkew:        *keyZipfFlag,
+		MeanGap:        *gapFlag,
+		Seed:           *seedFlag,
+		SLO:            *sloFlag,
+		SlotsPerTenant: *slotsFlag,
+		GenWorkers:     *genParFlag,
+	}
+
+	var backends []string
+	switch *backendFlag {
+	case "both":
+		backends = qei.ServingBackends()
+	case "qei", "baseline":
+		backends = []string{*backendFlag}
+	default:
+		fail("unknown backend %q (want qei, baseline, or both)", *backendFlag)
+	}
+
+	// One stream, whether generated or replayed; every backend serves
+	// the identical request sequence on its own fresh machine.
+	var gen serve.GenConfig
+	var reqs []serve.Request
+	switch {
+	case *replayFlag != "":
+		if *recordFlag != "" {
+			fail("-record and -replay are mutually exclusive")
+		}
+		f, err := os.Open(*replayFlag)
+		if err != nil {
+			fail("%v", err)
+		}
+		gen, reqs, err = serve.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fail("replay %s: %v", *replayFlag, err)
+		}
+		cfg.Seed = gen.Seed
+	default:
+		gen = cfg.GenConfig()
+		reqs, err = serve.GenerateParallel(gen, cfg.GenWorkers)
+		if err != nil {
+			fail("%v", err)
+		}
+		if *recordFlag != "" {
+			f, err := os.Create(*recordFlag)
+			if err != nil {
+				fail("%v", err)
+			}
+			if err := serve.WriteTrace(f, gen, reqs); err != nil {
+				f.Close()
+				fail("record %s: %v", *recordFlag, err)
+			}
+			if err := f.Close(); err != nil {
+				fail("record %s: %v", *recordFlag, err)
+			}
+			fmt.Fprintf(os.Stderr, "qeiserve: recorded %d requests to %s\n", len(reqs), *recordFlag)
+		}
+	}
+
+	out := output{Experiment: "serving", Scheme: scheme.String(), Gen: gen}
+	for _, name := range backends {
+		c := cfg
+		c.Backend = name
+		rep, err := qei.ReplayServing(c, gen, reqs)
+		if err != nil {
+			fail("%s: %v", name, err)
+		}
+		out.Reports = append(out.Reports, rep)
+	}
+
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
+	for _, rep := range out.Reports {
+		fmt.Printf("backend %s  scheme %s  requests %d  slots/tenant %d  capacity %d  makespan %d\n",
+			rep.Backend, out.Scheme, rep.Requests, rep.SlotsPerTenant, rep.Capacity, rep.MakespanCycles)
+		fmt.Printf("%8s %9s %9s %8s %9s %9s %9s %9s %9s\n",
+			"tenant", "requests", "throttled", "slo_viol", "mean", "p50", "p99", "p999", "max")
+		rows := append(append([]serve.TenantStats(nil), rep.Tenants...), rep.Total)
+		for _, ts := range rows {
+			tenant := "all"
+			if ts.Tenant >= 0 {
+				tenant = fmt.Sprintf("%d", ts.Tenant)
+			}
+			fmt.Printf("%8s %9d %9d %8d %9.0f %9d %9d %9d %9d\n",
+				tenant, ts.Requests, ts.Throttled, ts.SLOViolations,
+				ts.MeanLatency, ts.P50, ts.P99, ts.P999, ts.MaxLatency)
+		}
+		fmt.Println()
+	}
+}

@@ -52,11 +52,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	sysOpts := []qei.Option{qei.WithTracing()}
+	sysOpts := []qei.Option{qei.WithQuerySpans()}
 	if !*spansFlag {
 		// Unified timeline: ExportTrace then renders every component's
 		// events, not just the accelerator's query spans.
-		sysOpts = append(sysOpts, qei.WithTrace())
+		sysOpts = append(sysOpts, qei.WithTimeline())
 	}
 	sys := qei.NewSystem(sch, sysOpts...)
 	rng := rand.New(rand.NewSource(1))
@@ -67,24 +67,11 @@ func main() {
 		rng.Read(keys[i])
 		vals[i] = uint64(i) + 1
 	}
-	var table qei.Table
-	switch kind {
-	case qei.KindSkipList:
-		table, err = sys.BuildSkipList(keys, vals)
-	case qei.KindCuckoo:
-		table, err = sys.BuildCuckoo(keys, vals)
-	case qei.KindHashTable:
-		table, err = sys.BuildHashTable(keys, vals)
-	case qei.KindBST:
-		table, err = sys.BuildBST(keys, vals, 0)
-	case qei.KindBTree:
-		table, err = sys.BuildBTree(keys, vals)
-	case qei.KindLinkedList:
-		table, err = sys.BuildLinkedList(keys, vals)
-	default:
+	if kind == qei.KindTrie || kind == qei.KindCustom {
 		fmt.Fprintf(os.Stderr, "qeitrace: cannot trace a %s table\n", kind)
 		os.Exit(2)
 	}
+	table, err := sys.Build(kind, keys, vals)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qeitrace: %v\n", err)
 		os.Exit(1)

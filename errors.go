@@ -34,6 +34,10 @@ var (
 	// memory, a pointer cycle, or bytes the firmware could not interpret
 	// (Sec. IV-D surfaces these architecturally rather than wandering).
 	ErrStructCorrupt = qei.ErrStructCorrupt
+	// ErrUnknownKind is returned by the generic Build for a StructKind
+	// it has no builder for (KindInvalid, KindCustom, undefined values),
+	// and by QuerySoftware for a kind without a software walker.
+	ErrUnknownKind = errors.New("qei: no builder for structure kind")
 	// ErrFirmwareInvalid is returned by RegisterFirmware and
 	// ValidateFirmware for firmware that fails admission: reserved or
 	// colliding type codes, state counts outside 1..254, out-of-range

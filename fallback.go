@@ -1,6 +1,7 @@
 package qei
 
 import (
+	"errors"
 	"fmt"
 
 	"qei/internal/baseline"
@@ -32,17 +33,14 @@ func (p FallbackPolicy) afterFaults() int {
 	return p.AfterFaults
 }
 
-// softwareFallback re-executes a faulted query on the software baseline
-// walker, advancing the issue clock by the software execution's cycle
-// count. accelRes is the accelerator's final faulting result; it is
-// returned unchanged when the software path cannot serve the query
-// (custom firmware has no baseline walker, or the key is unreadable).
-func (s *System) softwareFallback(t Table, keyAddr uint64, keyLen int, accelRes Result) (Result, error) {
-	key := make([]byte, keyLen)
-	if err := s.m.AS.Read(mem.VAddr(keyAddr), key); err != nil {
-		return accelRes, nil
-	}
-
+// QuerySoftware executes one query on the software baseline walker,
+// timed on a simulated core that shares the machine's memory system —
+// the reference path the accelerator is compared against, and the
+// "baseline" serving backend's execution engine. The issue clock
+// advances by the software execution's cycle count. Walker errors
+// (corrupt structure bytes) are returned as errors; tables of custom
+// firmware kinds have no software walker and return ErrUnknownKind.
+func (s *System) QuerySoftware(t Table, key []byte) (Result, error) {
 	var res Result
 	var tr isa.Trace
 	switch t.Kind {
@@ -64,38 +62,57 @@ func (s *System) softwareFallback(t Table, keyAddr uint64, keyLen int, accelRes 
 			br, err = baseline.QueryBTree(s.m.AS, t.header, key)
 		}
 		if err != nil {
-			// The software walker hit the same corruption: surface it as
-			// the architectural outcome of the fallback.
-			s.fallbacks++
-			return Result{FellBack: true, Err: fmt.Errorf("qei: software fallback: %w", err)}, nil
+			return Result{}, err
 		}
-		res = Result{Found: br.Found, Value: br.Value, FellBack: true}
+		res = Result{Found: br.Found, Value: br.Value}
 		tr = br.Trace
 	case KindTrie:
 		sr, err := baseline.ScanTrie(s.m.AS, t.header, key)
 		if err != nil {
-			s.fallbacks++
-			return Result{FellBack: true, Err: fmt.Errorf("qei: software fallback: %w", err)}, nil
+			return Result{}, err
 		}
-		res = Result{Found: len(sr.Matches) > 0, Matches: sr.Matches, FellBack: true}
+		res = Result{Found: len(sr.Matches) > 0, Matches: sr.Matches}
 		tr = sr.Trace
 	default:
+		return Result{}, fmt.Errorf("qei: %w: %s has no software walker", ErrUnknownKind, t.Name())
+	}
+
+	// Time the software path on a simulated core sharing the machine's
+	// memory system — architecturally ordinary code.
+	core := cpu.New(cpu.DefaultConfig(), s.m.CoreMemPort(0), nil)
+	res.Latency = core.Run(tr)
+	if err := core.Err(); err != nil {
+		return Result{}, err
+	}
+	s.now += res.Latency
+	return res, nil
+}
+
+// softwareFallback re-executes a faulted query on the software baseline
+// walker, advancing the issue clock by the software execution's cycle
+// count. accelRes is the accelerator's final faulting result; it is
+// returned unchanged when the software path cannot serve the query
+// (custom firmware has no baseline walker, or the key is unreadable).
+func (s *System) softwareFallback(t Table, keyAddr uint64, keyLen int, accelRes Result) (Result, error) {
+	key := make([]byte, keyLen)
+	if err := s.m.AS.Read(mem.VAddr(keyAddr), key); err != nil {
+		return accelRes, nil
+	}
+
+	start := s.now
+	res, err := s.QuerySoftware(t, key)
+	if errors.Is(err, ErrUnknownKind) {
 		// Custom firmware has no software baseline walker; the
 		// accelerator fault is the final architectural outcome.
 		return accelRes, nil
 	}
-
-	// Time the software path on a simulated core sharing the machine's
-	// memory system — the fallback is architecturally ordinary code.
-	start := s.now
-	core := cpu.New(cpu.DefaultConfig(), s.m.CoreMemPort(0), nil)
-	res.Latency = core.Run(tr)
-	if err := core.Err(); err != nil {
-		s.fallbacks++
+	s.fallbacks++
+	if err != nil {
+		// The software walker hit the same corruption: surface it as
+		// the architectural outcome of the fallback.
 		return Result{FellBack: true, Err: fmt.Errorf("qei: software fallback: %w", err)}, nil
 	}
-	s.now += res.Latency
-	s.fallbacks++
+	res.FellBack = true
 	s.tracer.Span("qei", "fallback", start, s.now, trace.PidQST(0), 0,
 		map[string]string{"table": t.Name()})
 	return res, nil

@@ -1,0 +1,471 @@
+package serve
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"qei/internal/metrics"
+)
+
+func testGen() GenConfig {
+	return GenConfig{
+		Tenants:       4,
+		Requests:      400,
+		KeysPerTenant: 64,
+		KeyLen:        16,
+		Kind:          "cuckoo",
+		TenantSkew:    0.99,
+		KeySkew:       0.99,
+		MeanGap:       50,
+		Seed:          7,
+	}
+}
+
+func TestGenerateSerialParallelIdentical(t *testing.T) {
+	cfg := testGen()
+	serial, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := GenerateParallel(cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("parallel generation (%d workers) differs from serial", workers)
+		}
+	}
+}
+
+func TestGenerateDeterministicAndSkewed(t *testing.T) {
+	cfg := testGen()
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config generated different streams")
+	}
+	if len(a) != cfg.Requests {
+		t.Fatalf("generated %d requests, want %d", len(a), cfg.Requests)
+	}
+	// Arrival order, sequential Seq.
+	for i := range a {
+		if a[i].Seq != i {
+			t.Fatalf("request %d has seq %d", i, a[i].Seq)
+		}
+		if i > 0 && a[i].At < a[i-1].At {
+			t.Fatalf("arrivals out of order at %d: %d < %d", i, a[i].At, a[i-1].At)
+		}
+	}
+	// Zipf tenant popularity: tenant 0 must dominate tenant N-1.
+	counts := make([]int, cfg.Tenants)
+	for _, r := range a {
+		counts[r.Tenant]++
+	}
+	if counts[0] <= counts[cfg.Tenants-1] {
+		t.Fatalf("tenant popularity not skewed: %v", counts)
+	}
+	// Different seed, different stream.
+	cfg2 := cfg
+	cfg2.Seed = 8
+	c, err := Generate(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds generated identical streams")
+	}
+}
+
+func TestTenantCountsExact(t *testing.T) {
+	for _, tenants := range []int{1, 3, 7, 24} {
+		for _, reqs := range []int{1, 10, 997} {
+			cfg := GenConfig{Tenants: tenants, Requests: reqs, TenantSkew: 0.99}
+			counts := tenantCounts(cfg)
+			sum := 0
+			for _, c := range counts {
+				sum += c
+			}
+			if sum != reqs {
+				t.Fatalf("tenants=%d requests=%d: counts sum to %d", tenants, reqs, sum)
+			}
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	cfg := testGen()
+	reqs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, cfg, reqs); err != nil {
+		t.Fatal(err)
+	}
+	gotCfg, gotReqs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCfg != cfg {
+		t.Fatalf("config round-trip: got %+v want %+v", gotCfg, cfg)
+	}
+	if !reflect.DeepEqual(gotReqs, reqs) {
+		t.Fatal("request stream round-trip differs")
+	}
+}
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	var h LatencyHist
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max %d", h.Max())
+	}
+	checks := []struct {
+		q     float64
+		exact uint64
+	}{{0.50, 500}, {0.99, 990}, {0.999, 999}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		rel := math.Abs(float64(got)-float64(c.exact)) / float64(c.exact)
+		if rel > 0.07 {
+			t.Errorf("q%.3f = %d, want ~%d (rel err %.3f)", c.q, got, c.exact, rel)
+		}
+		if got > h.Max() {
+			t.Errorf("q%.3f = %d exceeds max %d", c.q, got, h.Max())
+		}
+	}
+	// Bucket mapping sanity: every value lands in a bucket whose range
+	// contains it.
+	for _, v := range []uint64{0, 1, 31, 32, 33, 1000, 1 << 20, 1<<40 + 12345} {
+		i := bucketIndex(v)
+		if bucketMax(i) < v {
+			t.Errorf("value %d maps to bucket %d with max %d", v, i, bucketMax(i))
+		}
+		if i > 0 && bucketMax(i-1) >= v {
+			t.Errorf("value %d maps above bucket %d (max %d)", v, i-1, bucketMax(i-1))
+		}
+	}
+}
+
+func TestLatencyHistMerge(t *testing.T) {
+	var a, b, all LatencyHist
+	for v := uint64(0); v < 500; v++ {
+		a.Observe(v * 3)
+		all.Observe(v * 3)
+	}
+	for v := uint64(0); v < 300; v++ {
+		b.Observe(v * 7)
+		all.Observe(v * 7)
+	}
+	a.Merge(&b)
+	if a != all {
+		t.Fatal("merged histogram differs from directly-fed histogram")
+	}
+}
+
+func TestAdmission(t *testing.T) {
+	a := NewAdmission(2, 2)
+	if !a.TryAcquire(0) || !a.TryAcquire(0) {
+		t.Fatal("under-bound acquire refused")
+	}
+	if a.TryAcquire(0) {
+		t.Fatal("over-bound acquire admitted")
+	}
+	if a.Throttled(0) != 1 {
+		t.Fatalf("throttled %d, want 1", a.Throttled(0))
+	}
+	if !a.TryAcquire(1) {
+		t.Fatal("tenant 1 starved by tenant 0's bound")
+	}
+	a.Release(0)
+	if !a.TryAcquire(0) {
+		t.Fatal("released slot not reusable")
+	}
+	if NewAdmission(1, 0).Limit() != 1 {
+		t.Fatal("limit not clamped to 1")
+	}
+}
+
+// fakeBackend is a synthetic adapter for server-loop tests: tables are
+// maps, each query completes a fixed latency after issue, and at most
+// cap queries may be in flight.
+type fakeBackend struct {
+	now      uint64
+	lat      uint64
+	cap      int
+	inflight int
+	queries  uint64
+	tables   []map[string]uint64
+}
+
+type fakeTable int
+
+type fakeHandle struct {
+	res  Result
+	done bool
+}
+
+func (f *fakeBackend) Name() string { return "fake" }
+
+func (f *fakeBackend) Build(kind string, keys [][]byte, values []uint64) (Table, error) {
+	m := make(map[string]uint64, len(keys))
+	for i, k := range keys {
+		m[string(k)] = values[i]
+	}
+	f.tables = append(f.tables, m)
+	return fakeTable(len(f.tables) - 1), nil
+}
+
+func (f *fakeBackend) lookup(t Table, key []byte) Result {
+	f.queries++
+	v, ok := f.tables[int(t.(fakeTable))][string(key)]
+	return Result{Found: ok, Value: v, Done: f.now + f.lat}
+}
+
+func (f *fakeBackend) Query(t Table, key []byte) (Result, error) {
+	res := f.lookup(t, key)
+	f.now = res.Done
+	return res, nil
+}
+
+func (f *fakeBackend) QueryAsync(t Table, key []byte) (Handle, error) {
+	if f.inflight >= f.cap {
+		return nil, ErrBackendFull
+	}
+	f.inflight++
+	return &fakeHandle{res: f.lookup(t, key)}, nil
+}
+
+func (f *fakeBackend) finish(h *fakeHandle) {
+	if !h.done {
+		h.done = true
+		f.inflight--
+	}
+}
+
+func (f *fakeBackend) Poll(h Handle) (Result, error) {
+	fh := h.(*fakeHandle)
+	if fh.res.Done > f.now {
+		return Result{}, ErrPending
+	}
+	f.finish(fh)
+	return fh.res, nil
+}
+
+func (f *fakeBackend) Wait(h Handle) (Result, error) {
+	fh := h.(*fakeHandle)
+	if fh.res.Done > f.now {
+		f.now = fh.res.Done
+	}
+	f.finish(fh)
+	return fh.res, nil
+}
+
+func (f *fakeBackend) Now() uint64      { return f.now }
+func (f *fakeBackend) Advance(n uint64) { f.now += n }
+func (f *fakeBackend) Capacity() int    { return f.cap }
+func (f *fakeBackend) Stats() Stats     { return Stats{Queries: f.queries} }
+
+func TestServerRunFake(t *testing.T) {
+	cfg := Config{Gen: testGen(), SLO: 400, KeepResults: true}
+	reqs, err := Generate(cfg.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &fakeBackend{lat: 200, cap: 8}
+	rep, err := Run(b, cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Requests != uint64(len(reqs)) {
+		t.Fatalf("retired %d of %d requests", rep.Total.Requests, len(reqs))
+	}
+	// Every generated key was built into its tenant's table.
+	if rep.Total.Found != rep.Total.Requests {
+		t.Fatalf("found %d of %d", rep.Total.Found, rep.Total.Requests)
+	}
+	// Values match the deterministic tenant/rank encoding.
+	for i, res := range rep.Results {
+		want := TenantValue(reqs[i].Tenant, int(res.Value&0xFFFFFFFF)-1)
+		if res.Value != want {
+			t.Fatalf("request %d value %#x does not decode", i, res.Value)
+		}
+	}
+	// Minimum possible latency is the backend's service time.
+	if rep.Total.P50 < b.lat {
+		t.Fatalf("p50 %d below service latency %d", rep.Total.P50, b.lat)
+	}
+	if rep.Total.P50 > rep.Total.P99 || rep.Total.P99 > rep.Total.P999 {
+		t.Fatalf("percentiles not monotone: %d %d %d", rep.Total.P50, rep.Total.P99, rep.Total.P999)
+	}
+	sumReq := uint64(0)
+	for _, ts := range rep.Tenants {
+		sumReq += ts.Requests
+	}
+	if sumReq != rep.Total.Requests {
+		t.Fatal("per-tenant requests do not sum to total")
+	}
+}
+
+func TestServerDeterministicAndMetrics(t *testing.T) {
+	gen := testGen()
+	reqs, err := Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (*Report, *metrics.Registry) {
+		reg := metrics.NewRegistry()
+		cfg := Config{Gen: gen, SLO: 300, SlotsPerTenant: 2, Metrics: reg}
+		rep, err := Run(&fakeBackend{lat: 250, cap: 8}, cfg, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, reg
+	}
+	r1, reg1 := run()
+	r2, reg2 := run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("two identical runs produced different reports")
+	}
+	if reg1.Snapshot().String() != reg2.Snapshot().String() {
+		t.Fatal("two identical runs produced different metric snapshots")
+	}
+	snap := reg1.Snapshot()
+	if v := snap.Value("serve/requests"); v != uint64(len(reqs)) {
+		t.Fatalf("serve/requests = %d, want %d", v, len(reqs))
+	}
+	if v := snap.Value("serve/tenant0/requests"); v != r1.Tenants[0].Requests {
+		t.Fatalf("serve/tenant0/requests = %d, want %d", v, r1.Tenants[0].Requests)
+	}
+	if v := snap.Value("serve/latency_p99"); v != r1.Total.P99 {
+		t.Fatalf("serve/latency_p99 = %d, want %d", v, r1.Total.P99)
+	}
+	// A saturating open loop with a tight per-tenant bound must actually
+	// throttle and violate the SLO somewhere.
+	if r1.Total.Throttled == 0 {
+		t.Fatal("no throttling under saturation")
+	}
+	if r1.Total.SLOViolations == 0 {
+		t.Fatal("no SLO violations under saturation")
+	}
+}
+
+func TestServerAdmissionIsolation(t *testing.T) {
+	// One hot tenant at 4x the load of three cold ones: with per-tenant
+	// slots the cold tenants' p99 must stay well below the hot tenant's.
+	gen := testGen()
+	gen.TenantSkew = 1.5 // sharpen the skew
+	gen.MeanGap = 30     // saturate
+	reqs, err := Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(&fakeBackend{lat: 400, cap: 8}, Config{Gen: gen, SlotsPerTenant: 2}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, cold := rep.Tenants[0], rep.Tenants[gen.Tenants-1]
+	if hot.Requests <= cold.Requests {
+		t.Fatalf("skew missing: hot %d cold %d", hot.Requests, cold.Requests)
+	}
+	if cold.P99 > hot.P99 {
+		t.Fatalf("cold tenant p99 %d above hot tenant p99 %d despite admission bound", cold.P99, hot.P99)
+	}
+}
+
+func TestRunRejectsBadStream(t *testing.T) {
+	gen := testGen()
+	reqs := []Request{{Seq: 0, Tenant: gen.Tenants + 3, At: 0, Key: make([]byte, gen.KeyLen)}}
+	if _, err := Run(&fakeBackend{lat: 10, cap: 4}, Config{Gen: gen}, reqs); err == nil {
+		t.Fatal("out-of-range tenant accepted")
+	}
+}
+
+func TestGenConfigValidate(t *testing.T) {
+	bad := []GenConfig{
+		{},
+		{Tenants: 1, Requests: 1, KeysPerTenant: 1, KeyLen: 4, MeanGap: 1},
+		{Tenants: 1, Requests: 1, KeysPerTenant: 1, KeyLen: 8, MeanGap: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if err := testGen().Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestTenantKeysUnique(t *testing.T) {
+	cfg := testGen()
+	seen := make(map[string]bool)
+	for tn := 0; tn < cfg.Tenants; tn++ {
+		keys, values := TenantKeys(cfg, tn)
+		if len(keys) != cfg.KeysPerTenant || len(values) != cfg.KeysPerTenant {
+			t.Fatal("wrong population")
+		}
+		for r, k := range keys {
+			if len(k) != cfg.KeyLen {
+				t.Fatalf("key length %d", len(k))
+			}
+			if seen[string(k)] {
+				t.Fatalf("duplicate key tenant %d rank %d", tn, r)
+			}
+			seen[string(k)] = true
+			if values[r] == 0 {
+				t.Fatal("zero value")
+			}
+		}
+	}
+}
+
+// sortedQuantiles cross-checks hist quantiles against exact sorted-slice
+// quantiles on a skewed sample set.
+func TestLatencyHistVsExact(t *testing.T) {
+	var h LatencyHist
+	var samples []uint64
+	x := uint64(12345)
+	for i := 0; i < 20000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		v := x % 100000
+		if i%100 == 0 {
+			v *= 50 // heavy tail
+		}
+		h.Observe(v)
+		samples = append(samples, v)
+	}
+	sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		idx := int(q*float64(len(samples))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		exact := samples[idx]
+		got := h.Quantile(q)
+		if exact == 0 {
+			continue
+		}
+		rel := math.Abs(float64(got)-float64(exact)) / float64(exact)
+		if rel > 0.07 {
+			t.Errorf("q%.3f: hist %d vs exact %d (rel %.3f)", q, got, exact, rel)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"qei/internal/metrics"
+)
+
+// Config configures one serving run on top of a generated (or replayed)
+// request stream.
+type Config struct {
+	// Gen is the stream's generation config; Run rebuilds each tenant's
+	// table from it (TenantKeys), so a recorded trace replays against
+	// identical structures.
+	Gen GenConfig
+	// SlotsPerTenant bounds each tenant's in-flight QST slots. <= 0
+	// derives a fair share: backend capacity / tenants, clamped to 1.
+	SlotsPerTenant int
+	// SLO is the per-request latency objective in simulated cycles;
+	// requests whose end-to-end latency exceeds it count as violations.
+	// 0 disables SLO accounting.
+	SLO uint64
+	// Metrics, when non-nil, receives per-tenant serving counters
+	// (serve/tenant<N>/requests, .../slo_violations, .../p99, ...)
+	// alongside the simulator's component metrics.
+	Metrics *metrics.Registry
+	// KeepResults retains every request's Result in Report.Results
+	// (indexed by Request.Seq) — the hook the backend-equivalence tests
+	// use. Off for large runs.
+	KeepResults bool
+}
+
+// TenantStats is one tenant's serving outcome (Tenant == -1 for the
+// aggregate row).
+type TenantStats struct {
+	Tenant        int     `json:"tenant"`
+	Requests      uint64  `json:"requests"`
+	Found         uint64  `json:"found"`
+	Faults        uint64  `json:"faults"`
+	Throttled     uint64  `json:"throttled"`
+	SLOViolations uint64  `json:"slo_violations"`
+	MeanLatency   float64 `json:"mean_latency"`
+	P50           uint64  `json:"p50"`
+	P99           uint64  `json:"p99"`
+	P999          uint64  `json:"p999"`
+	MaxLatency    uint64  `json:"max_latency"`
+}
+
+// Report is the outcome of one serving run: per-tenant percentile rows,
+// the aggregate row, and backend totals. Latencies are end-to-end
+// simulated cycles: arrival to result visibility, queueing included.
+type Report struct {
+	Backend        string `json:"backend"`
+	Requests       int    `json:"requests"`
+	SlotsPerTenant int    `json:"slots_per_tenant"`
+	Capacity       int    `json:"capacity"`
+	// MakespanCycles is the backend clock when the last request retired.
+	MakespanCycles uint64        `json:"makespan_cycles"`
+	Queries        uint64        `json:"queries"`
+	Exceptions     uint64        `json:"exceptions"`
+	Tenants        []TenantStats `json:"tenants"`
+	Total          TenantStats   `json:"total"`
+	// Results holds per-request results by Seq when Config.KeepResults
+	// was set; excluded from JSON output.
+	Results []Result `json:"-"`
+}
+
+// tenantAcct is the per-tenant accounting the server keeps while a run
+// is in flight.
+type tenantAcct struct {
+	hist     LatencyHist
+	requests uint64
+	found    uint64
+	faults   uint64
+	sloViol  uint64
+}
+
+// inflight is one issued-but-unretired request.
+type inflight struct {
+	tenant int
+	seq    int
+	at     uint64
+	h      Handle
+}
+
+// Run drives the request stream through the backend: tables are built
+// per tenant, requests issue in arrival order under the open-loop clock
+// (arrivals never wait for completions), per-tenant admission bounds
+// in-flight slots, and every request's end-to-end latency lands in the
+// tenant's histogram. The run is single-goroutine and deterministic:
+// identical (backend state, cfg, reqs) yield identical reports.
+func Run(b Backend, cfg Config, reqs []Request) (*Report, error) {
+	if err := cfg.Gen.Validate(); err != nil {
+		return nil, err
+	}
+	tenants := cfg.Gen.Tenants
+	tables := make([]Table, tenants)
+	for t := range tables {
+		keys, values := TenantKeys(cfg.Gen, t)
+		tbl, err := b.Build(cfg.Gen.Kind, keys, values)
+		if err != nil {
+			return nil, fmt.Errorf("serve: tenant %d build: %w", t, err)
+		}
+		tables[t] = tbl
+	}
+
+	slots := cfg.SlotsPerTenant
+	if slots <= 0 {
+		slots = b.Capacity() / tenants
+	}
+	adm := NewAdmission(tenants, slots)
+	acct := make([]tenantAcct, tenants)
+	var total LatencyHist
+	var rep Report
+	if cfg.KeepResults {
+		rep.Results = make([]Result, len(reqs))
+	}
+	registerMetrics(cfg.Metrics, adm, acct, &total)
+
+	retire := func(q inflight, res Result) {
+		lat := uint64(0)
+		if res.Done > q.at {
+			lat = res.Done - q.at
+		}
+		a := &acct[q.tenant]
+		a.hist.Observe(lat)
+		total.Observe(lat)
+		a.requests++
+		if res.Found {
+			a.found++
+		}
+		if res.Err != nil {
+			a.faults++
+		}
+		if cfg.SLO > 0 && lat > cfg.SLO {
+			a.sloViol++
+		}
+		if cfg.KeepResults && q.seq >= 0 && q.seq < len(rep.Results) {
+			rep.Results[q.seq] = res
+		}
+		adm.Release(q.tenant)
+	}
+
+	var queue []inflight
+	// waitOne retires queue[i], advancing the clock to its completion.
+	waitOne := func(i int) error {
+		q := queue[i]
+		res, err := b.Wait(q.h)
+		if err != nil {
+			return fmt.Errorf("serve: request %d: %w", q.seq, err)
+		}
+		retire(q, res)
+		queue = append(queue[:i], queue[i+1:]...)
+		return nil
+	}
+	// pollRetire retires everything already complete at the current
+	// clock, without advancing it.
+	pollRetire := func() error {
+		kept := queue[:0]
+		for _, q := range queue {
+			res, err := b.Poll(q.h)
+			if errors.Is(err, ErrPending) {
+				kept = append(kept, q)
+				continue
+			}
+			if err != nil {
+				return fmt.Errorf("serve: request %d: %w", q.seq, err)
+			}
+			retire(q, res)
+		}
+		queue = kept
+		return nil
+	}
+
+	for i := range reqs {
+		req := &reqs[i]
+		if req.Tenant < 0 || req.Tenant >= tenants {
+			return nil, fmt.Errorf("serve: request %d names tenant %d of %d", req.Seq, req.Tenant, tenants)
+		}
+		if now := b.Now(); now < req.At {
+			b.Advance(req.At - now)
+		}
+		if err := pollRetire(); err != nil {
+			return nil, err
+		}
+		// Per-tenant admission: over-bound requests wait on their own
+		// tenant's oldest in-flight query — other tenants keep their
+		// slots — and the wait is charged to this request's latency.
+		for !adm.TryAcquire(req.Tenant) {
+			idx := -1
+			for j := range queue {
+				if queue[j].tenant == req.Tenant {
+					idx = j
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, fmt.Errorf("serve: tenant %d over admission bound with nothing in flight", req.Tenant)
+			}
+			if err := waitOne(idx); err != nil {
+				return nil, err
+			}
+		}
+		h, err := b.QueryAsync(tables[req.Tenant], req.Key)
+		for errors.Is(err, ErrBackendFull) {
+			// The shared QST is exhausted by other tenants: drain the
+			// globally oldest query and reissue.
+			if len(queue) == 0 {
+				return nil, fmt.Errorf("serve: backend full with nothing in flight")
+			}
+			if werr := waitOne(0); werr != nil {
+				return nil, werr
+			}
+			h, err = b.QueryAsync(tables[req.Tenant], req.Key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("serve: request %d issue: %w", req.Seq, err)
+		}
+		queue = append(queue, inflight{tenant: req.Tenant, seq: req.Seq, at: req.At, h: h})
+	}
+	for len(queue) > 0 {
+		if err := waitOne(0); err != nil {
+			return nil, err
+		}
+	}
+
+	rep.Backend = b.Name()
+	rep.Requests = len(reqs)
+	rep.SlotsPerTenant = adm.Limit()
+	rep.Capacity = b.Capacity()
+	rep.MakespanCycles = b.Now()
+	st := b.Stats()
+	rep.Queries = st.Queries
+	rep.Exceptions = st.Exceptions
+	rep.Tenants = make([]TenantStats, tenants)
+	for t := range acct {
+		rep.Tenants[t] = tenantRow(t, &acct[t], adm.Throttled(t))
+	}
+	agg := tenantAcct{hist: total}
+	var thrTotal uint64
+	for t := range acct {
+		agg.requests += acct[t].requests
+		agg.found += acct[t].found
+		agg.faults += acct[t].faults
+		agg.sloViol += acct[t].sloViol
+		thrTotal += adm.Throttled(t)
+	}
+	rep.Total = tenantRow(-1, &agg, thrTotal)
+	return &rep, nil
+}
+
+// tenantRow renders one accounting record as a report row.
+func tenantRow(t int, a *tenantAcct, throttled uint64) TenantStats {
+	return TenantStats{
+		Tenant:        t,
+		Requests:      a.requests,
+		Found:         a.found,
+		Faults:        a.faults,
+		Throttled:     throttled,
+		SLOViolations: a.sloViol,
+		MeanLatency:   a.hist.Mean(),
+		P50:           a.hist.Quantile(0.50),
+		P99:           a.hist.Quantile(0.99),
+		P999:          a.hist.Quantile(0.999),
+		MaxLatency:    a.hist.Max(),
+	}
+}
+
+// registerMetrics publishes the serving counters into the simulator
+// registry (nil-safe): per-tenant request/violation/throttle counts and
+// latency percentiles under serve/tenant<N>/, aggregates under serve/.
+// Everything is pull-based (RegisterFunc), so the serving hot loop pays
+// nothing for it.
+func registerMetrics(reg *metrics.Registry, adm *Admission, acct []tenantAcct, total *LatencyHist) {
+	if reg == nil {
+		return
+	}
+	sreg := reg.Scoped("serve")
+	for t := range acct {
+		t := t
+		a := &acct[t]
+		treg := sreg.Scoped(fmt.Sprintf("tenant%d", t))
+		treg.RegisterFunc("requests", func() uint64 { return a.requests })
+		treg.RegisterFunc("found", func() uint64 { return a.found })
+		treg.RegisterFunc("faults", func() uint64 { return a.faults })
+		treg.RegisterFunc("slo_violations", func() uint64 { return a.sloViol })
+		treg.RegisterFunc("throttled", func() uint64 { return adm.Throttled(t) })
+		treg.RegisterFunc("latency_p50", func() uint64 { return a.hist.Quantile(0.50) })
+		treg.RegisterFunc("latency_p99", func() uint64 { return a.hist.Quantile(0.99) })
+		treg.RegisterFunc("latency_p999", func() uint64 { return a.hist.Quantile(0.999) })
+	}
+	sreg.RegisterFunc("requests", func() uint64 { return total.Count() })
+	sreg.RegisterFunc("latency_p50", func() uint64 { return total.Quantile(0.50) })
+	sreg.RegisterFunc("latency_p99", func() uint64 { return total.Quantile(0.99) })
+	sreg.RegisterFunc("latency_p999", func() uint64 { return total.Quantile(0.999) })
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Recorded-trace format: JSON Lines. The first line is a header carrying
+// the format version and the full GenConfig (so a replay can rebuild the
+// tenant tables the stream probes); every following line is one request
+// in arrival order. The format is append-friendly and greppable:
+//
+//	{"v":1,"gen":{"tenants":4,...}}
+//	{"seq":0,"tenant":0,"at":93,"key":"00000000000000010a0b..."}
+//	{"seq":1,"tenant":2,"at":118,"key":"..."}
+
+// traceVersion is the current trace-format version.
+const traceVersion = 1
+
+type traceHeader struct {
+	Version int       `json:"v"`
+	Gen     GenConfig `json:"gen"`
+}
+
+type traceRec struct {
+	Seq    int    `json:"seq"`
+	Tenant int    `json:"tenant"`
+	At     uint64 `json:"at"`
+	Key    string `json:"key"`
+}
+
+// WriteTrace records a generated stream as JSONL: header line, then one
+// line per request in stream order.
+func WriteTrace(w io.Writer, cfg GenConfig, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(traceHeader{Version: traceVersion, Gen: cfg}); err != nil {
+		return err
+	}
+	for i := range reqs {
+		r := &reqs[i]
+		rec := traceRec{Seq: r.Seq, Tenant: r.Tenant, At: r.At, Key: hex.EncodeToString(r.Key)}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a recorded JSONL trace back into the config and
+// request stream WriteTrace saved. The returned stream replays
+// byte-identically to the live generated run it recorded.
+func ReadTrace(r io.Reader) (GenConfig, []Request, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return GenConfig{}, nil, err
+		}
+		return GenConfig{}, nil, fmt.Errorf("serve: empty trace")
+	}
+	var hdr traceHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return GenConfig{}, nil, fmt.Errorf("serve: trace header: %w", err)
+	}
+	if hdr.Version != traceVersion {
+		return GenConfig{}, nil, fmt.Errorf("serve: trace version %d, want %d", hdr.Version, traceVersion)
+	}
+	var reqs []Request
+	for line := 2; sc.Scan(); line++ {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec traceRec
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return GenConfig{}, nil, fmt.Errorf("serve: trace line %d: %w", line, err)
+		}
+		key, err := hex.DecodeString(rec.Key)
+		if err != nil {
+			return GenConfig{}, nil, fmt.Errorf("serve: trace line %d key: %w", line, err)
+		}
+		reqs = append(reqs, Request{Seq: rec.Seq, Tenant: rec.Tenant, At: rec.At, Key: key})
+	}
+	if err := sc.Err(); err != nil {
+		return GenConfig{}, nil, err
+	}
+	return hdr.Gen, reqs, nil
+}

@@ -38,7 +38,7 @@ func TestObservabilityZeroCycleImpact(t *testing.T) {
 		sch := sch
 		t.Run(sch.String(), func(t *testing.T) {
 			plain := NewSystem(sch)
-			observed := NewSystem(sch, WithMetrics(), WithTrace())
+			observed := NewSystem(sch, WithMetrics(), WithTimeline())
 			pl, pn := queryAll(t, plain, keys, vals)
 			ol, on := queryAll(t, observed, keys, vals)
 			if pn != on {
@@ -86,7 +86,7 @@ func TestSystemMetricsReadout(t *testing.T) {
 }
 
 func TestSystemUnifiedTraceExport(t *testing.T) {
-	sys := NewSystem(CoreIntegrated, WithTrace())
+	sys := NewSystem(CoreIntegrated, WithTimeline())
 	keys, vals := testKeys(100, 16, 13)
 	queryAll(t, sys, keys, vals)
 

@@ -1,0 +1,335 @@
+package qei
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"qei/internal/serve"
+)
+
+// This file wires the multi-tenant serving frontend (internal/serve)
+// to the simulated machine: the two Backend adapters — the QEI
+// accelerator and the software baseline walker — over one *System, plus
+// the ServingConfig runner and the "serving" experiment. Both adapters
+// build tenant tables through the generic System.Build entrypoint, so a
+// backend is chosen by name, never by divergent call paths (the
+// Tailwind framing: accelerator vs software is a placement decision
+// behind one interface).
+
+// ServingBackends lists the registered serving backend names.
+func ServingBackends() []string { return []string{"qei", "baseline"} }
+
+// NewServingBackend wraps sys as the named serving backend adapter:
+// "qei" drives the accelerator through QueryAsync/Poll/Wait under the
+// QST bound; "baseline" executes every query on the software walker
+// timed on a simulated core (QuerySoftware). Both share sys's address
+// space, memory system, and issue clock.
+func NewServingBackend(name string, sys *System) (serve.Backend, error) {
+	switch name {
+	case "qei":
+		return &qeiServeBackend{sys: sys}, nil
+	case "baseline":
+		return &baselineServeBackend{sys: sys}, nil
+	default:
+		return nil, fmt.Errorf("qei: unknown serving backend %q (have %v)", name, ServingBackends())
+	}
+}
+
+// qeiServeBackend adapts the accelerator path: async issues occupy QST
+// entries and overlap; ErrQSTFull maps to the serve layer's
+// ErrBackendFull so the server drains and reissues.
+type qeiServeBackend struct {
+	sys *System
+}
+
+func (b *qeiServeBackend) Name() string { return "qei" }
+
+func (b *qeiServeBackend) Build(kind string, keys [][]byte, values []uint64) (serve.Table, error) {
+	k, err := ParseStructKind(kind)
+	if err != nil {
+		return nil, err
+	}
+	return b.sys.Build(k, keys, values)
+}
+
+func (b *qeiServeBackend) Query(t serve.Table, key []byte) (serve.Result, error) {
+	res, err := b.sys.Query(t.(Table), key)
+	if err != nil {
+		return serve.Result{}, err
+	}
+	return serve.Result{Found: res.Found, Value: res.Value, Done: b.sys.Now(), Err: res.Err}, nil
+}
+
+func (b *qeiServeBackend) QueryAsync(t serve.Table, key []byte) (serve.Handle, error) {
+	h, err := b.sys.QueryAsync(t.(Table), key)
+	if errors.Is(err, ErrQSTFull) {
+		return nil, fmt.Errorf("%w: %w", serve.ErrBackendFull, err)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func (b *qeiServeBackend) Poll(h serve.Handle) (serve.Result, error) {
+	ah := h.(AsyncHandle)
+	res, err := b.sys.Poll(ah)
+	if errors.Is(err, ErrResultPending) {
+		return serve.Result{}, serve.ErrPending
+	}
+	if err != nil {
+		return serve.Result{}, err
+	}
+	return asyncResult(ah, res), nil
+}
+
+func (b *qeiServeBackend) Wait(h serve.Handle) (serve.Result, error) {
+	ah := h.(AsyncHandle)
+	res, err := b.sys.Wait(ah)
+	if err != nil {
+		return serve.Result{}, err
+	}
+	return asyncResult(ah, res), nil
+}
+
+// asyncResult converts an async query result: its completion cycle is
+// the acceptance point plus the observed latency.
+func asyncResult(h AsyncHandle, res Result) serve.Result {
+	return serve.Result{
+		Found: res.Found,
+		Value: res.Value,
+		Done:  h.accepted + res.Latency,
+		Err:   res.Err,
+	}
+}
+
+func (b *qeiServeBackend) Now() uint64      { return b.sys.Now() }
+func (b *qeiServeBackend) Advance(n uint64) { b.sys.Advance(n) }
+func (b *qeiServeBackend) Capacity() int    { return b.sys.QSTCapacity() }
+
+func (b *qeiServeBackend) Stats() serve.Stats {
+	st := b.sys.Stats()
+	return serve.Stats{Queries: st.Queries, Exceptions: st.Exceptions}
+}
+
+// baselineServeBackend adapts the software path: queries execute
+// eagerly and serially on the baseline walker (QuerySoftware), so an
+// async handle is already complete when issued — queueing then shows up
+// as end-to-end latency exactly as a single-threaded software server
+// would exhibit it.
+type baselineServeBackend struct {
+	sys        *System
+	queries    uint64
+	exceptions uint64
+}
+
+// baselineHandle is an already-complete async handle.
+type baselineHandle struct {
+	res serve.Result
+}
+
+func (b *baselineServeBackend) Name() string { return "baseline" }
+
+func (b *baselineServeBackend) Build(kind string, keys [][]byte, values []uint64) (serve.Table, error) {
+	k, err := ParseStructKind(kind)
+	if err != nil {
+		return nil, err
+	}
+	return b.sys.Build(k, keys, values)
+}
+
+func (b *baselineServeBackend) Query(t serve.Table, key []byte) (serve.Result, error) {
+	res, err := b.sys.QuerySoftware(t.(Table), key)
+	if errors.Is(err, ErrUnknownKind) {
+		return serve.Result{}, err
+	}
+	b.queries++
+	if err != nil {
+		// Walker errors are per-query architectural faults, mirroring
+		// accelerator exceptions riding in Result.Err.
+		b.exceptions++
+		return serve.Result{Done: b.sys.Now(), Err: err}, nil
+	}
+	return serve.Result{Found: res.Found, Value: res.Value, Done: b.sys.Now()}, nil
+}
+
+func (b *baselineServeBackend) QueryAsync(t serve.Table, key []byte) (serve.Handle, error) {
+	res, err := b.Query(t, key)
+	if err != nil {
+		return nil, err
+	}
+	return &baselineHandle{res: res}, nil
+}
+
+func (b *baselineServeBackend) Poll(h serve.Handle) (serve.Result, error) {
+	return h.(*baselineHandle).res, nil
+}
+
+func (b *baselineServeBackend) Wait(h serve.Handle) (serve.Result, error) {
+	return h.(*baselineHandle).res, nil
+}
+
+func (b *baselineServeBackend) Now() uint64      { return b.sys.Now() }
+func (b *baselineServeBackend) Advance(n uint64) { b.sys.Advance(n) }
+
+// Capacity is 1: the software path executes one query at a time.
+func (b *baselineServeBackend) Capacity() int { return 1 }
+
+func (b *baselineServeBackend) Stats() serve.Stats {
+	return serve.Stats{Queries: b.queries, Exceptions: b.exceptions}
+}
+
+// ServingConfig describes one serving run end to end: the synthetic
+// multi-tenant stream, the machine and backend that serve it, and the
+// QoS knobs. The zero value is not runnable; DefaultServingConfig gives
+// a small, fast configuration.
+type ServingConfig struct {
+	// Backend selects the adapter: "qei" or "baseline".
+	Backend string
+	// Scheme is the accelerator integration scheme of the simulated
+	// machine (the baseline backend still shares its memory system).
+	Scheme Scheme
+	// Tenants, Requests, KeysPerTenant, KeyLen, Kind, TenantSkew,
+	// KeySkew, MeanGap and Seed mirror serve.GenConfig.
+	Tenants       int
+	Requests      int
+	KeysPerTenant int
+	KeyLen        int
+	Kind          StructKind
+	TenantSkew    float64
+	KeySkew       float64
+	MeanGap       uint64
+	Seed          int64
+	// SLO is the per-request latency objective in cycles (0 = off).
+	SLO uint64
+	// SlotsPerTenant bounds each tenant's in-flight QST slots (<= 0
+	// derives capacity / tenants).
+	SlotsPerTenant int
+	// GenWorkers parallelizes trace generation (<= 0 = GOMAXPROCS;
+	// output is byte-identical at any value).
+	GenWorkers int
+	// Metrics attaches the simulator metrics registry and registers the
+	// per-tenant serving counters in it.
+	Metrics bool
+	// KeepResults retains per-request results (tests).
+	KeepResults bool
+}
+
+// DefaultServingConfig returns a small, fast serving configuration:
+// 4 Zipf(0.99) tenants each owning a BST table (the pointer-chasing
+// shape where offload pays) under an open-loop arrival process fast
+// enough that the software path falls behind while the accelerator
+// keeps up.
+func DefaultServingConfig() ServingConfig {
+	return ServingConfig{
+		Backend:       "qei",
+		Scheme:        CoreIntegrated,
+		Tenants:       4,
+		Requests:      240,
+		KeysPerTenant: 128,
+		KeyLen:        16,
+		Kind:          KindBST,
+		TenantSkew:    0.99,
+		KeySkew:       0.99,
+		MeanGap:       400,
+		Seed:          7,
+		SLO:           10000,
+		GenWorkers:    1,
+	}
+}
+
+// GenConfig renders the stream-generation part of the config.
+func (c ServingConfig) GenConfig() serve.GenConfig {
+	return serve.GenConfig{
+		Tenants:       c.Tenants,
+		Requests:      c.Requests,
+		KeysPerTenant: c.KeysPerTenant,
+		KeyLen:        c.KeyLen,
+		Kind:          c.Kind.String(),
+		TenantSkew:    c.TenantSkew,
+		KeySkew:       c.KeySkew,
+		MeanGap:       c.MeanGap,
+		Seed:          c.Seed,
+	}
+}
+
+// RunServing generates the seeded open-loop stream and serves it on a
+// fresh simulated machine through the configured backend, returning the
+// per-tenant percentile report. The run is deterministic: equal configs
+// yield equal reports at any GenWorkers value.
+func RunServing(cfg ServingConfig) (*serve.Report, error) {
+	reqs, err := serve.GenerateParallel(cfg.GenConfig(), cfg.GenWorkers)
+	if err != nil {
+		return nil, err
+	}
+	return ReplayServing(cfg, cfg.GenConfig(), reqs)
+}
+
+// ReplayServing serves an explicit request stream (a recorded trace, or
+// a freshly generated one) under gen's table layout on a fresh machine.
+// Replaying a recorded trace is byte-identical to the live run that
+// recorded it.
+func ReplayServing(cfg ServingConfig, gen serve.GenConfig, reqs []serve.Request) (*serve.Report, error) {
+	opts := []Option{WithSeed(cfg.Seed)}
+	if cfg.Metrics {
+		opts = append(opts, WithMetrics())
+	}
+	sys := NewSystem(cfg.Scheme, opts...)
+	backend, err := NewServingBackend(cfg.Backend, sys)
+	if err != nil {
+		return nil, err
+	}
+	return serve.Run(backend, serve.Config{
+		Gen:            gen,
+		SlotsPerTenant: cfg.SlotsPerTenant,
+		SLO:            cfg.SLO,
+		Metrics:        sys.mreg,
+		KeepResults:    cfg.KeepResults,
+	}, reqs)
+}
+
+// ServingPercentiles is the "serving" experiment: the same seeded
+// multi-tenant open-loop trace served by the software baseline and the
+// QEI accelerator behind the shared Backend interface, reported as
+// per-tenant latency percentiles and SLO violations.
+func ServingPercentiles(s Scale, opts ...ExpOption) (TableData, error) {
+	t := TableData{
+		Title: "Serving — multi-tenant open-loop latency per backend (cycles)",
+		Headers: []string{"backend", "tenant", "requests", "throttled",
+			"slo_viol", "p50", "p99", "p999"},
+	}
+	base := DefaultServingConfig()
+	if s == FullScale {
+		base.Tenants = 16
+		base.Requests = 4000
+		base.KeysPerTenant = 256
+		base.MeanGap = 200
+	}
+	rows, err := expRows(expConfigFor(opts), ServingBackends(),
+		func(_ context.Context, _ int, backend string) ([][]string, error) {
+			cfg := base
+			cfg.Backend = backend
+			rep, err := RunServing(cfg)
+			if err != nil {
+				return nil, err
+			}
+			var rows [][]string
+			row := func(ts serve.TenantStats) []string {
+				tenant := "all"
+				if ts.Tenant >= 0 {
+					tenant = f("%d", ts.Tenant)
+				}
+				return []string{backend, tenant, f("%d", ts.Requests),
+					f("%d", ts.Throttled), f("%d", ts.SLOViolations),
+					f("%d", ts.P50), f("%d", ts.P99), f("%d", ts.P999)}
+			}
+			for _, ts := range rep.Tenants {
+				rows = append(rows, row(ts))
+			}
+			rows = append(rows, row(rep.Total))
+			return rows, nil
+		})
+	t.Rows = rows
+	return t, err
+}

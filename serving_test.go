@@ -1,0 +1,221 @@
+package qei
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"qei/internal/serve"
+)
+
+// TestQueryBatchOverCapacity pins the over-QST-capacity contract of
+// QueryBatch: a batch several times the QST capacity completes without
+// ever surfacing ErrQSTFull, and returns one result per key in key
+// order.
+func TestQueryBatchOverCapacity(t *testing.T) {
+	sys := NewSystem(CoreIntegrated)
+	cap := sys.QSTCapacity()
+	n := 3*cap + 5
+	keys, vals := testKeys(n, 16, 11)
+	tb := sys.MustBuildCuckoo(keys, vals)
+
+	results, err := sys.QueryBatch(tb, keys)
+	if err != nil {
+		t.Fatalf("QueryBatch over capacity (%d keys, QST %d): %v", n, cap, err)
+	}
+	if len(results) != n {
+		t.Fatalf("got %d results for %d keys", len(results), n)
+	}
+	for i, r := range results {
+		if !r.Found || r.Value != vals[i] {
+			t.Fatalf("key %d: %+v want value %d — results not in key order", i, r, vals[i])
+		}
+	}
+
+	// Misses interleaved past capacity stay in key order too.
+	miss := make([][]byte, cap+3)
+	for i := range miss {
+		miss[i] = []byte("absent-key-0123!")
+	}
+	mres, err := sys.QueryBatch(tb, miss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range mres {
+		if r.Found {
+			t.Fatalf("miss %d reported found", i)
+		}
+	}
+}
+
+// TestServingReplayIdentical pins the record/replay contract: serving a
+// trace read back from the JSONL recording produces a byte-identical
+// report to the live run that generated the stream.
+func TestServingReplayIdentical(t *testing.T) {
+	cfg := DefaultServingConfig()
+	cfg.Requests = 120
+	cfg.Tenants = 3
+
+	live, err := RunServing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen := cfg.GenConfig()
+	reqs, err := serve.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := serve.WriteTrace(&buf, gen, reqs); err != nil {
+		t.Fatal(err)
+	}
+	rgen, rreqs, err := serve.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := ReplayServing(cfg, rgen, rreqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lj, _ := json.Marshal(live)
+	rj, _ := json.Marshal(replayed)
+	if !bytes.Equal(lj, rj) {
+		t.Fatalf("replayed report differs from live run:\nlive   %s\nreplay %s", lj, rj)
+	}
+}
+
+// TestServingGenParallelIdentical pins end-to-end determinism across
+// generation worker counts: the served report is identical whether the
+// stream was generated serially or by a worker pool.
+func TestServingGenParallelIdentical(t *testing.T) {
+	base := DefaultServingConfig()
+	base.Requests = 100
+	base.Tenants = 3
+
+	var want *serve.Report
+	for _, workers := range []int{1, 4} {
+		cfg := base
+		cfg.GenWorkers = workers
+		rep, err := RunServing(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = rep
+			continue
+		}
+		if !reflect.DeepEqual(want, rep) {
+			t.Fatalf("report differs at GenWorkers=%d:\nwant %+v\ngot  %+v", workers, want, rep)
+		}
+	}
+}
+
+// TestServingBackendsAgreeOnValues pins backend interchangeability: the
+// accelerator and the software baseline serve the identical stream
+// through the shared Backend interface and return the same Found/Value
+// for every request (cycle counts legitimately differ).
+func TestServingBackendsAgreeOnValues(t *testing.T) {
+	for _, kind := range []StructKind{KindCuckoo, KindBST, KindSkipList} {
+		cfg := DefaultServingConfig()
+		cfg.Requests = 90
+		cfg.Tenants = 3
+		cfg.Kind = kind
+		cfg.KeepResults = true
+
+		reports := map[string]*serve.Report{}
+		for _, be := range ServingBackends() {
+			c := cfg
+			c.Backend = be
+			rep, err := RunServing(c)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", kind, be, err)
+			}
+			if rep.Backend != be {
+				t.Fatalf("report names backend %q, want %q", rep.Backend, be)
+			}
+			reports[be] = rep
+		}
+		q, b := reports["qei"], reports["baseline"]
+		if len(q.Results) != cfg.Requests || len(b.Results) != cfg.Requests {
+			t.Fatalf("%s: kept %d/%d results, want %d", kind, len(q.Results), len(b.Results), cfg.Requests)
+		}
+		for i := range q.Results {
+			qr, br := q.Results[i], b.Results[i]
+			if qr.Found != br.Found || qr.Value != br.Value {
+				t.Fatalf("%s request %d: qei (found=%v value=%d) vs baseline (found=%v value=%d)",
+					kind, i, qr.Found, qr.Value, br.Found, br.Value)
+			}
+			if (qr.Err == nil) != (br.Err == nil) {
+				t.Fatalf("%s request %d: fault disagreement: qei=%v baseline=%v", kind, i, qr.Err, br.Err)
+			}
+		}
+		if q.Total.Found == 0 {
+			t.Fatalf("%s: no request found its key — stream not exercising tables", kind)
+		}
+	}
+}
+
+// TestNewServingBackendUnknown pins the error for unregistered names.
+func TestNewServingBackendUnknown(t *testing.T) {
+	if _, err := NewServingBackend("gpu", NewSystem(CoreIntegrated)); err == nil {
+		t.Fatal("expected error for unknown backend name")
+	}
+}
+
+// TestBuildGenericMatchesTyped pins that the generic Build entrypoint
+// and the typed wrappers construct equivalent tables: same kind, same
+// lookup answers on machines with identical seeds.
+func TestBuildGenericMatchesTyped(t *testing.T) {
+	keys, vals := testKeys(128, 16, 5)
+	sysA := NewSystem(CoreIntegrated, WithSeed(3))
+	sysB := NewSystem(CoreIntegrated, WithSeed(3))
+
+	ta, err := sysA.Build(KindBST, keys, vals, WithBSTPayload(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := sysB.BuildBST(keys, vals, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.Kind != tb.Kind || ta.KeyLen != tb.KeyLen {
+		t.Fatalf("table metadata differs: %+v vs %+v", ta, tb)
+	}
+	for i := 0; i < 32; i++ {
+		ra, err := sysA.Query(ta, keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := sysB.Query(tb, keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.Found != rb.Found || ra.Value != rb.Value || ra.Latency != rb.Latency {
+			t.Fatalf("key %d: generic %+v vs typed %+v", i, ra, rb)
+		}
+	}
+
+	if _, err := sysA.Build(KindCustom, keys, vals); err == nil {
+		t.Fatal("Build(KindCustom) should fail")
+	} else if !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("Build(KindCustom) = %v, want ErrUnknownKind", err)
+	}
+}
+
+// TestDeprecatedObservabilityAliases pins that the old option names
+// keep working and mean the same thing as the renamed ones.
+func TestDeprecatedObservabilityAliases(t *testing.T) {
+	sys := NewSystem(CoreIntegrated, WithTracing(), WithTrace())
+	keys, vals := testKeys(8, 16, 9)
+	tb := sys.MustBuildCuckoo(keys, vals)
+	if _, err := sys.Query(tb, keys[0]); err != nil {
+		t.Fatal(err)
+	}
+	if doc := sys.ExportTrace(); doc == "" {
+		t.Fatal("deprecated WithTracing/WithTrace produced no trace document")
+	}
+}

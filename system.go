@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"qei/internal/cfa"
-	"qei/internal/dstruct"
 	"qei/internal/faultinject"
 	"qei/internal/isa"
 	"qei/internal/machine"
@@ -117,7 +116,7 @@ type System struct {
 	now   uint64
 	tag   uint64
 	// mreg/tracer are the observability sinks created by
-	// WithMetrics/WithTrace; nil when the respective option is off.
+	// WithMetrics/WithTimeline; nil when the respective option is off.
 	mreg   *metrics.Registry
 	tracer *trace.Tracer
 	// fi is the fault-injection harness (WithFaultInjection); nil keeps
@@ -150,11 +149,20 @@ func WithQSTSize(n int) Option {
 	return func(c *sysConfig) { c.qstSize = n }
 }
 
-// WithTracing enables query-span recording from the first query (see
-// EnableTracing/ExportTrace).
-func WithTracing() Option {
+// WithQuerySpans enables accelerator query-span recording from the
+// first query: one span per query (issue→completion, QST instance and
+// slot), exported by ExportTrace when the unified timeline is off. See
+// EnableTracing for enabling mid-run.
+func WithQuerySpans() Option {
 	return func(c *sysConfig) { c.tracing = true }
 }
+
+// WithTracing is the deprecated former name of WithQuerySpans, kept so
+// existing callers build; it recorded accelerator query spans only and
+// was easy to confuse with WithTrace (the unified tracer).
+//
+// Deprecated: use WithQuerySpans.
+func WithTracing() Option { return WithQuerySpans() }
 
 // WithSeed sets the seed for the system's randomized software routines
 // (skip-list level coins in mutable tables). Default 7.
@@ -170,13 +178,20 @@ func WithMetrics() Option {
 	return func(c *sysConfig) { c.metrics = true }
 }
 
-// WithTrace attaches the unified cycle-stamped event tracer: all
+// WithTimeline attaches the unified cycle-stamped event tracer: all
 // components emit events (query spans, cache fills, page walks, NoC
 // transfers, remote compares) onto one timeline, and ExportTrace renders
 // it as Chrome trace-event JSON. Off by default.
-func WithTrace() Option {
+func WithTimeline() Option {
 	return func(c *sysConfig) { c.trace = true }
 }
+
+// WithTrace is the deprecated former name of WithTimeline, kept so
+// existing callers build; the name collided with the narrower
+// WithTracing query-span option.
+//
+// Deprecated: use WithTimeline.
+func WithTrace() Option { return WithTimeline() }
 
 // WithFaultInjection arms the deterministic fault-injection harness
 // with the given replayable plan. Faults fire only while the
@@ -315,13 +330,9 @@ func validateKV(keys [][]byte, values []uint64) error {
 }
 
 // BuildCuckoo lays out a DPDK-style two-choice bucketed cuckoo hash
-// table holding the given fixed-length keys.
+// table holding the given fixed-length keys. It is Build(KindCuckoo, ...).
 func (s *System) BuildCuckoo(keys [][]byte, values []uint64) (Table, error) {
-	if err := validateKV(keys, values); err != nil {
-		return Table{}, err
-	}
-	c := dstruct.BuildCuckoo(s.m.AS, uint64(len(keys)/2), 8, 0x9E37, keys, values)
-	return Table{header: c.HeaderAddr, Kind: KindCuckoo, KeyLen: int(c.KeyLen)}, nil
+	return s.Build(KindCuckoo, keys, values)
 }
 
 // MustBuildCuckoo is BuildCuckoo, panicking on invalid input.
@@ -334,72 +345,41 @@ func (s *System) MustBuildCuckoo(keys [][]byte, values []uint64) Table {
 }
 
 // BuildHashTable lays out a chained hash table (the hash-table-of-
-// linked-lists combined structure).
+// linked-lists combined structure). It is Build(KindHashTable, ...).
 func (s *System) BuildHashTable(keys [][]byte, values []uint64) (Table, error) {
-	if err := validateKV(keys, values); err != nil {
-		return Table{}, err
-	}
-	h := dstruct.BuildHashTable(s.m.AS, uint64(len(keys)/4), 0x51ED, keys, values)
-	return Table{header: h.HeaderAddr, Kind: KindHashTable, KeyLen: int(h.KeyLen)}, nil
+	return s.Build(KindHashTable, keys, values)
 }
 
 // BuildSkipList lays out a sorted skip list (RocksDB-memtable style).
+// It is Build(KindSkipList, ...).
 func (s *System) BuildSkipList(keys [][]byte, values []uint64) (Table, error) {
-	if err := validateKV(keys, values); err != nil {
-		return Table{}, err
-	}
-	sl := dstruct.BuildSkipList(s.m.AS, 7, keys, values)
-	return Table{header: sl.HeaderAddr, Kind: KindSkipList, KeyLen: int(sl.KeyLen)}, nil
+	return s.Build(KindSkipList, keys, values)
 }
 
 // BuildBST lays out a binary search tree whose nodes carry payload extra
-// bytes of object body (the JVM object-tree shape).
+// bytes of object body (the JVM object-tree shape). It is
+// Build(KindBST, ..., WithBSTPayload(payload)).
 func (s *System) BuildBST(keys [][]byte, values []uint64, payload int) (Table, error) {
-	if err := validateKV(keys, values); err != nil {
-		return Table{}, err
-	}
-	if payload < 0 {
-		return Table{}, fmt.Errorf("qei: negative payload %d", payload)
-	}
-	b := dstruct.BuildBST(s.m.AS, 7, payload, keys, values)
-	return Table{header: b.HeaderAddr, Kind: KindBST, KeyLen: int(b.KeyLen)}, nil
+	return s.Build(KindBST, keys, values, WithBSTPayload(payload))
 }
 
 // BuildLinkedList lays out a singly linked list in the given order.
+// It is Build(KindLinkedList, ...).
 func (s *System) BuildLinkedList(keys [][]byte, values []uint64) (Table, error) {
-	if err := validateKV(keys, values); err != nil {
-		return Table{}, err
-	}
-	l := dstruct.BuildLinkedList(s.m.AS, keys, values)
-	return Table{header: l.HeaderAddr, Kind: KindLinkedList, KeyLen: int(l.KeyLen)}, nil
+	return s.Build(KindLinkedList, keys, values)
 }
 
 // BuildBTree bulk-loads a B+-tree index (fanout 16) over the keys.
+// It is Build(KindBTree, ...).
 func (s *System) BuildBTree(keys [][]byte, values []uint64) (Table, error) {
-	if err := validateKV(keys, values); err != nil {
-		return Table{}, err
-	}
-	bt := dstruct.BuildBTree(s.m.AS, 16, keys, values)
-	return Table{header: bt.HeaderAddr, Kind: KindBTree, KeyLen: int(bt.KeyLen)}, nil
+	return s.Build(KindBTree, keys, values)
 }
 
 // BuildTrie compiles a keyword dictionary into an Aho-Corasick automaton
 // for Scan queries. values must be non-zero; values[i] is reported when
-// keywords[i] matches.
+// keywords[i] matches. It is Build(KindTrie, keywords, values).
 func (s *System) BuildTrie(keywords [][]byte, values []uint64) (Table, error) {
-	if len(keywords) != len(values) {
-		return Table{}, fmt.Errorf("qei: %d keywords but %d values", len(keywords), len(values))
-	}
-	if len(keywords) == 0 {
-		return Table{}, fmt.Errorf("qei: empty dictionary")
-	}
-	for i, v := range values {
-		if v == 0 {
-			return Table{}, fmt.Errorf("qei: value %d is zero (reserved for no-match)", i)
-		}
-	}
-	tr := dstruct.BuildTrie(s.m.AS, keywords, values)
-	return Table{header: tr.HeaderAddr, Kind: KindTrie, KeyLen: 1}, nil
+	return s.Build(KindTrie, keywords, values)
 }
 
 // Query performs a blocking QUERY_B lookup of key in t through the
@@ -566,9 +546,9 @@ func (s *System) Poll(h AsyncHandle) (Result, error) {
 func (s *System) EnableTracing() { s.accel.EnableTracing() }
 
 // ExportTrace returns the recorded trace as a Chrome trace-event JSON
-// document. With WithTrace it renders the unified cycle-stamped timeline
-// (every component's events); otherwise it falls back to the legacy
-// query-span export driven by EnableTracing/WithTracing.
+// document. With WithTimeline it renders the unified cycle-stamped
+// timeline (every component's events); otherwise it falls back to the
+// query-span export driven by EnableTracing/WithQuerySpans.
 func (s *System) ExportTrace() string {
 	if s.tracer != nil {
 		return s.tracer.Export()
