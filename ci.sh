@@ -55,4 +55,28 @@ for needle in '"p99"' '"backend": "qei"' '"backend": "baseline"' '"slo_violation
 	esac
 done
 
+# DSE smoke: a tiny 2x2 design-space sweep must produce a non-empty
+# Pareto frontier, and the serial sweep must be byte-identical to the
+# parallel one (the determinism contract of internal/dse).
+dse_axes='qst=8,32;cores=16,24'
+dse_serial=$(go run ./cmd/qeidse -axes "$dse_axes" -parallel 1 -json)
+dse_par=$(go run ./cmd/qeidse -axes "$dse_axes" -parallel 8 -json)
+if [ "$dse_serial" != "$dse_par" ]; then
+	echo "dse-smoke: serial and parallel sweep output differ" >&2
+	exit 1
+fi
+case "$dse_serial" in
+*'"frontier": ['*) ;;
+*)
+	echo "dse-smoke: no frontier array in qeidse -json output" >&2
+	exit 1
+	;;
+esac
+case "$dse_serial" in
+*'"frontier": []'*)
+	echo "dse-smoke: empty Pareto frontier" >&2
+	exit 1
+	;;
+esac
+
 echo "ci: ok"

@@ -9,8 +9,8 @@
 //	qeiserve [-backend qei|baseline|both] [-tenants N] [-requests N]
 //	         [-keys N] [-keylen N] [-kind cuckoo|bst|...] [-zipf S]
 //	         [-keyzipf S] [-gap CYCLES] [-slo CYCLES] [-slots N]
-//	         [-seed N] [-scheme core|cha-tlb|...] [-genparallel N]
-//	         [-record FILE | -replay FILE] [-json]
+//	         [-seed N] [-scheme core|cha-tlb|...] [-machine preset|file.json]
+//	         [-genparallel N] [-record FILE | -replay FILE] [-json]
 //
 // -record writes the generated stream as a JSONL trace before serving
 // it; -replay serves a previously recorded trace instead of generating
@@ -77,6 +77,7 @@ func main() {
 	slotsFlag := flag.Int("slots", 0, "in-flight QST slots per tenant; 0 = capacity/tenants")
 	seedFlag := flag.Int64("seed", def.Seed, "stream and machine seed")
 	schemeFlag := flag.String("scheme", "core", "integration scheme: core, cha-tlb, cha-notlb, device-direct, device-indirect")
+	machineFlag := flag.String("machine", "", "machine description: a preset name (default, core, cha-tlb, ...) or a JSON file; empty = the Tab. II default")
 	genParFlag := flag.Int("genparallel", 0, "workers for stream generation; 0 = GOMAXPROCS (output identical at any value)")
 	recordFlag := flag.String("record", "", "write the generated stream to this JSONL trace file before serving")
 	replayFlag := flag.String("replay", "", "serve a recorded JSONL trace instead of generating a stream")
@@ -105,6 +106,15 @@ func main() {
 		SLO:            *sloFlag,
 		SlotsPerTenant: *slotsFlag,
 		GenWorkers:     *genParFlag,
+	}
+	if *machineFlag != "" {
+		spec, err := qei.LoadMachineSpec(*machineFlag)
+		if err != nil {
+			// The error wraps qei.ErrBadConfig and names the offending
+			// preset, file, or field.
+			fail("-machine: %v", err)
+		}
+		cfg.Machine = &spec
 	}
 
 	var backends []string

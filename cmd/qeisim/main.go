@@ -7,7 +7,7 @@
 //	qeisim -workload dpdk|jvm|rocksdb|snort|flann|tuple5|tuple10|tuple15 \
 //	       -scheme software|core|cha-tlb|cha-notlb|device-direct|device-indirect|all \
 //	       [-mode full|roi|nonroi] [-nb] [-scale small|full] [-warm] [-parallel N] \
-//	       [-metrics] [-trace out.json]
+//	       [-machine preset|file.json] [-metrics] [-trace out.json]
 //	qeisim -faults "7:flip=0.05,spurious=0.1"
 //
 // -faults skips the workload entirely and runs the fault-injection
@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"os"
 
+	"qei/internal/hwdesc"
 	"qei/internal/metrics"
 	"qei/internal/runner"
 	"qei/internal/scheme"
@@ -50,6 +51,7 @@ func main() {
 	parFlag := flag.Int("parallel", 0, "workers for -scheme all; 0 = GOMAXPROCS")
 	metricsFlag := flag.Bool("metrics", false, "print the full metric snapshot after the run")
 	traceFlag := flag.String("trace", "", "write the unified event trace to this file (Chrome trace-event JSON)")
+	machineFlag := flag.String("machine", "", "machine description: a preset name (default, core, cha-tlb, ...) or a JSON file; empty = the Tab. II default")
 	faultsFlag := flag.String("faults", "", "run the fault-injection chaos smoke with this seed:kind=rate,... spec and exit")
 	flag.Parse()
 
@@ -97,7 +99,23 @@ func main() {
 		opts = append(opts, workload.WithWarmup())
 	}
 
+	// -machine swaps the simulated chip; the accelerator's integration
+	// scheme stays -scheme. Bad descriptions fail here with the offending
+	// field spelled out (hwdesc.ErrBadConfig).
+	var desc *hwdesc.Description
+	if *machineFlag != "" {
+		d, err := hwdesc.Load(*machineFlag)
+		if err != nil {
+			fail("-machine: %v", err)
+		}
+		desc = &d
+		opts = append(opts, workload.WithMachine(d.MachineConfig()))
+	}
+
 	if *coresFlag > 1 {
+		if desc != nil {
+			fail("-machine is not supported with -cores > 1")
+		}
 		runMultiCore(bench, *schemeFlag, *coresFlag)
 		return
 	}
@@ -129,6 +147,16 @@ func main() {
 		}
 		if *nbFlag {
 			run, err = workload.RunQEINonBlocking(bench, k, 32, opts...)
+		} else if desc != nil {
+			// The description also sizes the accelerator (QST entries,
+			// comparators, TLB, device latency) under the chosen scheme.
+			d := *desc
+			d.Scheme = hwdesc.SchemeName(k)
+			params, perr := d.SchemeParams()
+			if perr != nil {
+				fail("-machine: %v", perr)
+			}
+			run, err = workload.RunQEIWithParams(bench, params, mode, opts...)
 		} else {
 			run, err = workload.RunQEI(bench, k, mode, opts...)
 		}

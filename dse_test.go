@@ -1,0 +1,79 @@
+package qei
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestRunDSETinySweep(t *testing.T) {
+	res, err := RunDSE(context.Background(), DSEConfig{
+		Axes: "qst=8,32;cores=24",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	if len(res.Frontier) == 0 {
+		t.Fatal("empty Pareto frontier")
+	}
+	for _, p := range res.Points {
+		if p.SpeedupX <= 1 {
+			t.Errorf("%s: speedup %.2f, want > 1", p.Desc.Name, p.SpeedupX)
+		}
+	}
+}
+
+func TestRunDSEBadInputs(t *testing.T) {
+	ctx := context.Background()
+	if _, err := RunDSE(ctx, DSEConfig{Axes: "bogus=1"}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad axes: error = %v, want ErrBadConfig", err)
+	}
+	if _, err := RunDSE(ctx, DSEConfig{Base: "not-a-preset"}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad base: error = %v, want ErrBadConfig", err)
+	}
+	if _, err := RunDSE(ctx, DSEConfig{Workload: "quake", Axes: "qst=8"}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad workload: error = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestDSEFrontierExperiment(t *testing.T) {
+	tab, err := DSEFrontier(Small, WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 design points plus the totals row.
+	if len(tab.Rows) != 9 {
+		t.Fatalf("got %d rows, want 9", len(tab.Rows))
+	}
+	frontier := 0
+	for _, r := range tab.Rows[:8] {
+		if len(r) != len(tab.Headers) {
+			t.Fatalf("row width %d != header width %d", len(r), len(tab.Headers))
+		}
+		if r[len(r)-1] == "frontier" {
+			frontier++
+		}
+	}
+	if frontier == 0 {
+		t.Error("no frontier points in the experiment table")
+	}
+}
+
+func TestDSERegisteredBeforeBench(t *testing.T) {
+	exps := Experiments()
+	names := make(map[string]int)
+	for i, e := range exps {
+		names[e.Name] = i
+	}
+	di, ok := names["dse"]
+	if !ok {
+		t.Fatal("dse experiment not registered")
+	}
+	if bi := names["bench"]; bi != len(exps)-1 || di >= bi {
+		t.Errorf("ordering wrong: dse at %d, bench at %d of %d (bench must stay last)",
+			di, bi, len(exps))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"qei/internal/cfa"
+	"qei/internal/hwdesc"
 	"qei/internal/qei"
 )
 
@@ -45,4 +46,11 @@ var (
 	// FirmwareDone. It also appears as Result.Err when registered
 	// firmware misbehaves at run time (panicking handler, oversized op).
 	ErrFirmwareInvalid = cfa.ErrInvalidProgram
+	// ErrBadConfig is returned by LoadMachineSpec, RunDSE, and the CLIs'
+	// -machine flag for a machine description that does not validate:
+	// unknown preset, unreadable or malformed JSON, unknown fields, or
+	// inconsistent geometry (more cores than mesh stops, a cache size not
+	// divisible by its ways, an out-of-range memory stop). The message
+	// names the offending field.
+	ErrBadConfig = hwdesc.ErrBadConfig
 )

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"qei/internal/hwdesc"
 	"qei/internal/power"
 	"qei/internal/scheme"
 	"qei/internal/stats"
@@ -202,9 +203,15 @@ func Fig8LatencySweep(s Scale, opts ...ExpOption) (TableData, error) {
 	return t, err
 }
 
+// deviceIndirectWith materializes the Tab. II Device-indirect machine at
+// the given device-interface data latency — the Fig. 8 sweep axis
+// expressed as a named hwdesc description rather than parameter surgery
+// (hwdesc tests pin the materialization to the former literals).
 func deviceIndirectWith(lat uint64) scheme.Params {
-	p := scheme.ForKind(scheme.DeviceIndirect)
-	p.ExtraDataLatency = lat
+	p, err := hwdesc.ForScheme(scheme.DeviceIndirect).WithDataLatency(lat).SchemeParams()
+	if err != nil {
+		panic(err) // unreachable: the preset validates
+	}
 	return p
 }
 
@@ -243,6 +250,10 @@ func Fig10TupleSpace(s Scale, opts ...ExpOption) (TableData, error) {
 		Title:   "Fig. 10 — tuple-space search speedup with QUERY_NB",
 		Headers: []string{"tuples", "scheme", "speedup_x"},
 	}
+	// QUERY_NB issue batch: large enough to keep every QST busy across
+	// schemes (the device DPU has 240 entries; the software poll loop is
+	// sized to this).
+	const nbBatch = 32
 	rows, err := expRows(expConfigFor(opts), []int{5, 10, 15},
 		func(_ context.Context, _ int, tuples int) ([][]string, error) {
 			var b workload.Benchmark
@@ -257,7 +268,7 @@ func Fig10TupleSpace(s Scale, opts ...ExpOption) (TableData, error) {
 			}
 			var rows [][]string
 			for _, k := range scheme.Kinds() {
-				hw, err := workload.RunQEINonBlocking(b, k, 32, workload.WithWarmup())
+				hw, err := workload.RunQEINonBlocking(b, k, nbBatch, workload.WithWarmup())
 				if err != nil {
 					return nil, err
 				}
@@ -309,7 +320,7 @@ func TabIII() TableData {
 		Title:   "Tab. III — area and static power of QEI",
 		Headers: []string{"configuration", "area_mm2", "paper_mm2", "static_mW", "paper_mW"},
 	}
-	for _, r := range power.Default().TableIII() {
+	for _, r := range hwdesc.Default().PowerModel().TableIII() {
 		t.Rows = append(t.Rows, []string{
 			r.Config,
 			f("%.4f", r.AreaMM2), f("%.4f", r.PaperAreaMM2),
@@ -326,7 +337,7 @@ func Fig12DynamicPower(s Scale, opts ...ExpOption) (TableData, error) {
 		Title:   "Fig. 12 — QEI dynamic energy per query vs software (paper: <40%)",
 		Headers: []string{"workload", "scheme", "energy_pct_of_software"},
 	}
-	model := power.Default()
+	model := hwdesc.Default().PowerModel()
 	rows, err := expRows(expConfigFor(opts), benchesFor(s),
 		func(_ context.Context, _ int, b workload.Benchmark) ([][]string, error) {
 			sw, err := workload.RunBaseline(b, workload.ROIOnly, workload.WithWarmup())

@@ -154,6 +154,12 @@ type Hierarchy struct {
 // at every core stop (tile = core + CHA/slice, as on Skylake-SP), and
 // memory controllers at the given stops.
 func NewHierarchy(nCores int, mesh *noc.Mesh, memStops []noc.Stop) *Hierarchy {
+	return NewHierarchyGeom(nCores, mesh, memStops, L1DConfig(), L2Config(), LLCSliceConfig())
+}
+
+// NewHierarchyGeom is NewHierarchy with explicit cache geometry — the
+// materialization path for declarative machine descriptions (hwdesc).
+func NewHierarchyGeom(nCores int, mesh *noc.Mesh, memStops []noc.Stop, l1d, l2, llcSlice Config) *Hierarchy {
 	if nCores > mesh.Stops() {
 		panic("cache: more cores than mesh stops")
 	}
@@ -165,15 +171,15 @@ func NewHierarchy(nCores int, mesh *noc.Mesh, memStops []noc.Stop) *Hierarchy {
 		mesh:      mesh,
 		dram:      NewDRAM(DefaultDRAMConfig()),
 		coreStops: coreStops,
-		memStops:  memStops,
+		memStops:  append([]noc.Stop(nil), memStops...),
 		reqBytes:  16,
 		lineBytes: mem.LineSize + 16,
 	}
 	for i := 0; i < nCores; i++ {
-		h.L1D = append(h.L1D, New(L1DConfig()))
-		h.L2 = append(h.L2, New(L2Config()))
+		h.L1D = append(h.L1D, New(l1d))
+		h.L2 = append(h.L2, New(l2))
 	}
-	h.llc = NewLLC(nCores, LLCSliceConfig(), coreStops)
+	h.llc = NewLLC(nCores, llcSlice, coreStops)
 	return h
 }
 

@@ -31,6 +31,45 @@ type Config struct {
 	// ContiguousFrames lays data out physically contiguously (the
 	// huge-page ablation); default false (fragmented, Sec. II-B).
 	ContiguousFrames bool
+
+	// Cache and TLB geometry. Zero values fall back to the Tab. II
+	// defaults (cache.L1DConfig etc.), so literal Configs predating
+	// these fields build the same chip they always did.
+	L1D      cache.Config
+	L2       cache.Config
+	LLCSlice cache.Config
+	L1TLB    tlb.Config
+	L2TLB    tlb.Config
+}
+
+// Clone returns a deep copy: the MemStops slice is duplicated, so
+// mutating one copy's stops can never alias another's — the guarantee
+// design-space sweeps rely on when many Configs derive from one value.
+func (c Config) Clone() Config {
+	c.MemStops = append([]noc.Stop(nil), c.MemStops...)
+	return c
+}
+
+// Normalized returns a deep copy with every zero-valued cache/TLB
+// geometry replaced by its Tab. II default — the form New builds from.
+func (c Config) Normalized() Config {
+	c = c.Clone()
+	if c.L1D == (cache.Config{}) {
+		c.L1D = cache.L1DConfig()
+	}
+	if c.L2 == (cache.Config{}) {
+		c.L2 = cache.L2Config()
+	}
+	if c.LLCSlice == (cache.Config{}) {
+		c.LLCSlice = cache.LLCSliceConfig()
+	}
+	if c.L1TLB == (tlb.Config{}) {
+		c.L1TLB = tlb.L1TLBConfig()
+	}
+	if c.L2TLB == (tlb.Config{}) {
+		c.L2TLB = tlb.L2TLBConfig()
+	}
+	return c
 }
 
 // DefaultConfig is the 24-core Skylake-SP-like chip of Tab. II.
@@ -66,8 +105,11 @@ type Machine struct {
 	tr  *trace.Tracer
 }
 
-// New builds a machine from cfg.
+// New builds a machine from cfg. The stored Cfg is a normalized deep
+// copy, so callers may reuse or mutate their Config (including its
+// MemStops slice) without affecting a built machine.
 func New(cfg Config) *Machine {
+	cfg = cfg.Normalized()
 	phys := mem.NewPhysical()
 	var as *mem.AddressSpace
 	if cfg.ContiguousFrames {
@@ -76,7 +118,7 @@ func New(cfg Config) *Machine {
 		as = mem.NewAddressSpace(phys)
 	}
 	mesh := noc.New(cfg.Mesh)
-	hier := cache.NewHierarchy(cfg.Cores, mesh, cfg.MemStops)
+	hier := cache.NewHierarchyGeom(cfg.Cores, mesh, cfg.MemStops, cfg.L1D, cfg.L2, cfg.LLCSlice)
 	m := &Machine{
 		Cfg:  cfg,
 		Phys: phys,
@@ -85,7 +127,7 @@ func New(cfg Config) *Machine {
 		Hier: hier,
 	}
 	for i := 0; i < cfg.Cores; i++ {
-		m.TLB = append(m.TLB, tlb.NewHierarchy(as, cfg.PageWalkLatency))
+		m.TLB = append(m.TLB, tlb.NewHierarchyGeom(as, cfg.PageWalkLatency, cfg.L1TLB, cfg.L2TLB))
 	}
 	return m
 }

@@ -133,3 +133,54 @@ func TestWarmLLCSkipsUnmappedHoles(t *testing.T) {
 		t.Fatal("mapped prefix not warmed")
 	}
 }
+
+// TestConfigMemStopsNoAliasing is the slice-aliasing regression for the
+// hwdesc/dse materialization path: a built machine must own its
+// MemStops, so mutating the caller's slice — or evaluating two machines
+// built from one Config concurrently — cannot corrupt routing.
+func TestConfigMemStopsNoAliasing(t *testing.T) {
+	cfg := DefaultConfig()
+	m1 := New(cfg)
+	cfg.MemStops[0] = 23 // caller reuses and mutates its slice
+	m2 := New(cfg)
+	if m1.Cfg.MemStops[0] == 23 {
+		t.Fatal("machine aliases the caller's MemStops slice")
+	}
+	if m2.Cfg.MemStops[0] != 23 {
+		t.Fatal("second machine missed the caller's update")
+	}
+	m2.Cfg.MemStops[0] = 5
+	if cfg.MemStops[0] != 23 {
+		t.Fatal("mutating a machine's stored Cfg leaked into the caller's slice")
+	}
+}
+
+func TestConfigClone(t *testing.T) {
+	cfg := DefaultConfig()
+	cl := cfg.Clone()
+	cl.MemStops[1] = 0
+	if cfg.MemStops[1] == 0 {
+		t.Fatal("Clone shares MemStops storage")
+	}
+}
+
+// TestNormalizedFillsGeometryDefaults pins the zero-value contract that
+// keeps golden cycles stable: a Config without explicit cache/TLB
+// geometry normalizes to exactly the Tab. II arrays.
+func TestNormalizedFillsGeometryDefaults(t *testing.T) {
+	n := Config{Cores: 24, Mesh: DefaultConfig().Mesh,
+		MemStops: DefaultConfig().MemStops, PageWalkLatency: 30}.Normalized()
+	d := DefaultConfig().Normalized()
+	if n.L1D != d.L1D || n.L2 != d.L2 || n.LLCSlice != d.LLCSlice {
+		t.Errorf("cache defaults: %+v vs %+v", n, d)
+	}
+	if n.L1TLB != d.L1TLB || n.L2TLB != d.L2TLB {
+		t.Errorf("TLB defaults: %+v vs %+v", n, d)
+	}
+	// Explicit geometry survives normalization.
+	c := DefaultConfig()
+	c.L1D.SizeBytes = 64 << 10
+	if got := c.Normalized().L1D.SizeBytes; got != 64<<10 {
+		t.Errorf("explicit L1D size normalized away: %d", got)
+	}
+}

@@ -105,10 +105,62 @@ func Default() Model {
 	}
 }
 
+// AtNode returns the model scaled from its 22 nm calibration to the
+// given technology node with first-order shrink factors: area scales
+// with the square of the feature size, static (leakage) power linearly,
+// and dynamic energy per event with the square (capacitance times a
+// voltage that tracks the node). The factors are deliberately coarse —
+// they rank design points in a sweep, they are not a sign-off flow —
+// and AtNode(22) returns the model unchanged. Non-positive nodes are
+// treated as the 22 nm calibration point.
+func (m Model) AtNode(nm int) Model {
+	if nm <= 0 {
+		nm = 22
+	}
+	s := float64(nm) / 22.0
+	area, leak, dyn := s*s, s, s*s
+
+	m.RFAreaPerBit *= area
+	m.CEEDPUFixedArea *= area
+	m.ComparatorArea *= area
+	m.CAMAreaPerBit *= area
+	m.SRAMAreaPerBit *= area
+
+	m.RFLeakPerBit *= leak
+	m.CEEDPUFixedLeak *= leak
+	m.ComparatorLeak *= leak
+	m.CAMLeakPerBit *= leak
+	m.SRAMLeakPerBit *= leak
+
+	m.CoreEnergyPerInstr *= dyn
+	m.ComparatorLineRead *= dyn
+	m.TransitionEnergy *= dyn
+	m.CompareEnergyPer8B *= dyn
+	m.HashEnergyPer8B *= dyn
+	m.L1AccessEnergy *= dyn
+	m.L2AccessEnergy *= dyn
+	m.LLCAccessEnergy *= dyn
+	m.DRAMAccessEnergy *= dyn
+	m.NoCEnergyPerByte *= dyn
+	m.TLBLookupEnergy *= dyn
+	m.PageWalkEnergy *= dyn
+	m.MispredictEnergy *= dyn
+	return m
+}
+
 // QEIArea returns the silicon area (mm²) and static power (mW) of one
 // QEI accelerator with the given QST capacity and comparator count,
-// optionally including a dedicated TLB.
+// optionally including a dedicated TLB. Negative counts are clamped to
+// zero (a degenerate design point costs the fixed logic, never negative
+// silicon), so area and power are monotonically non-decreasing in both
+// arguments.
 func (m Model) QEIArea(qstEntries, comparators int, withTLB bool) (mm2, mW float64) {
+	if qstEntries < 0 {
+		qstEntries = 0
+	}
+	if comparators < 0 {
+		comparators = 0
+	}
 	bits := float64(qstEntries * m.QSTBitsPerEntry)
 	mm2 = bits*m.RFAreaPerBit/1e6 + m.CEEDPUFixedArea
 	mW = bits*m.RFLeakPerBit + m.CEEDPUFixedLeak

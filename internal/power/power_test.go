@@ -88,3 +88,85 @@ func TestQEIQueryCheaperThanSoftwareQuery(t *testing.T) {
 		t.Fatalf("QEI/software energy ratio = %.2f, want <= 0.4", ratio)
 	}
 }
+
+// TestQEIAreaDegenerateCounts pins the edge behaviour the sweep engine
+// relies on: zero and negative QST/comparator counts cost exactly the
+// fixed CEE/DPU logic, never negative silicon.
+func TestQEIAreaDegenerateCounts(t *testing.T) {
+	m := Default()
+	zeroA, zeroP := m.QEIArea(0, 0, false)
+	if zeroA != m.CEEDPUFixedArea || zeroP != m.CEEDPUFixedLeak {
+		t.Errorf("QEIArea(0,0) = %.4f mm², %.4f mW; want the fixed block %.4f, %.4f",
+			zeroA, zeroP, m.CEEDPUFixedArea, m.CEEDPUFixedLeak)
+	}
+	negA, negP := m.QEIArea(-5, -3, false)
+	if negA != zeroA || negP != zeroP {
+		t.Errorf("negative counts: got %.4f mm², %.4f mW; want clamped to the zero point %.4f, %.4f",
+			negA, negP, zeroA, zeroP)
+	}
+	if a, p := m.QEIArea(-1, -1, true); a <= zeroA || p <= zeroP {
+		t.Errorf("degenerate point with TLB should still pay the TLB: %.4f mm², %.4f mW", a, p)
+	}
+}
+
+// TestQEIAreaMonotonic is the property test behind the Pareto sweep:
+// area and static power never decrease as QST entries or comparators
+// grow, across a grid spanning negative to device-sized counts.
+func TestQEIAreaMonotonic(t *testing.T) {
+	m := Default()
+	counts := []int{-4, 0, 1, 2, 8, 10, 64, 240}
+	for _, withTLB := range []bool{false, true} {
+		for i := 1; i < len(counts); i++ {
+			for _, cmp := range counts {
+				aLo, pLo := m.QEIArea(counts[i-1], cmp, withTLB)
+				aHi, pHi := m.QEIArea(counts[i], cmp, withTLB)
+				if aHi < aLo || pHi < pLo {
+					t.Errorf("entries %d->%d (cmp %d, tlb %v): area %.4f->%.4f, power %.4f->%.4f not monotonic",
+						counts[i-1], counts[i], cmp, withTLB, aLo, aHi, pLo, pHi)
+				}
+				aLo, pLo = m.QEIArea(cmp, counts[i-1], withTLB)
+				aHi, pHi = m.QEIArea(cmp, counts[i], withTLB)
+				if aHi < aLo || pHi < pLo {
+					t.Errorf("comparators %d->%d (entries %d, tlb %v): area %.4f->%.4f, power %.4f->%.4f not monotonic",
+						counts[i-1], counts[i], cmp, withTLB, aLo, aHi, pLo, pHi)
+				}
+			}
+		}
+	}
+}
+
+func TestDynamicEnergyEmptyActivity(t *testing.T) {
+	if e := Default().DynamicEnergyNJ(Activity{}); e != 0 {
+		t.Errorf("empty activity costs %.4f nJ, want exactly 0", e)
+	}
+}
+
+// TestAtNode pins the technology-scaling contract: identity at the
+// 22 nm calibration point (and for non-positive nodes), quadratic area
+// and dynamic shrink, linear leakage shrink.
+func TestAtNode(t *testing.T) {
+	m := Default()
+	if m.AtNode(22) != m {
+		t.Error("AtNode(22) must be the identity")
+	}
+	if m.AtNode(0) != m || m.AtNode(-3) != m {
+		t.Error("non-positive nodes must behave as the 22 nm calibration")
+	}
+	h := m.AtNode(11)
+	s := 0.5
+	if !within(h.CEEDPUFixedArea, m.CEEDPUFixedArea*s*s, 1e-12) {
+		t.Errorf("area at 11 nm = %.6f, want quarter of %.6f", h.CEEDPUFixedArea, m.CEEDPUFixedArea)
+	}
+	if !within(h.CEEDPUFixedLeak, m.CEEDPUFixedLeak*s, 1e-12) {
+		t.Errorf("leakage at 11 nm = %.6f, want half of %.6f", h.CEEDPUFixedLeak, m.CEEDPUFixedLeak)
+	}
+	if !within(h.DRAMAccessEnergy, m.DRAMAccessEnergy*s*s, 1e-12) {
+		t.Errorf("dynamic energy at 11 nm = %.6f, want quarter of %.6f", h.DRAMAccessEnergy, m.DRAMAccessEnergy)
+	}
+	// Scaling preserves the Fig. 12 shape: a full-model scale factor
+	// cancels in software-vs-QEI energy ratios.
+	a := Activity{Instructions: 100, L1Accesses: 10, LLCAccesses: 3, Transitions: 40}
+	if !within(h.DynamicEnergyNJ(a), m.DynamicEnergyNJ(a)*s*s, 1e-9) {
+		t.Error("DynamicEnergyNJ must scale uniformly with the node")
+	}
+}

@@ -217,9 +217,15 @@ type Hierarchy struct {
 
 // NewHierarchy builds the standard core translation path.
 func NewHierarchy(as *mem.AddressSpace, perLevelWalk uint64) *Hierarchy {
+	return NewHierarchyGeom(as, perLevelWalk, L1TLBConfig(), L2TLBConfig())
+}
+
+// NewHierarchyGeom is NewHierarchy with explicit TLB geometry — the
+// materialization path for declarative machine descriptions (hwdesc).
+func NewHierarchyGeom(as *mem.AddressSpace, perLevelWalk uint64, l1, l2 Config) *Hierarchy {
 	return &Hierarchy{
-		L1:     New(L1TLBConfig()),
-		L2:     New(L2TLBConfig()),
+		L1:     New(l1),
+		L2:     New(l2),
 		Walker: NewWalker(as, perLevelWalk),
 	}
 }

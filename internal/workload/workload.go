@@ -143,6 +143,17 @@ type runCfg struct {
 	nocReset bool
 	reg      *metrics.Registry
 	tr       *trace.Tracer
+	mach     *machine.Config
+}
+
+// newMachine builds the run's machine: the configured topology
+// (WithMachine) or the Tab. II default. machine.New deep-copies the
+// Config, so one Config value can feed many concurrent runs.
+func (c *runCfg) newMachine() *machine.Machine {
+	if c.mach != nil {
+		return machine.New(*c.mach)
+	}
+	return machine.NewDefault()
 }
 
 // attach wires the run's machine (and, for accelerated runs, the
@@ -187,6 +198,14 @@ func WithMetrics(reg *metrics.Registry) RunOption {
 // cycle-stamped events into tr during the run.
 func WithTrace(tr *trace.Tracer) RunOption {
 	return func(c *runCfg) { c.tr = tr }
+}
+
+// WithMachine runs the workload on the given chip topology instead of
+// the Tab. II default — the design-space-exploration knob. The Config
+// is captured by value and deep-copied by machine.New, so sweep points
+// sharing a base Config never alias.
+func WithMachine(cfg machine.Config) RunOption {
+	return func(c *runCfg) { c.mach = &cfg }
 }
 
 // memSnapshot captures machine-wide memory-system counters for delta
@@ -268,7 +287,7 @@ func RunBaseline(bench Benchmark, mode Mode, opts ...RunOption) (Run, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	m := machine.NewDefault()
+	m := cfg.newMachine()
 	cfg.attach(m, nil)
 	buildStart := m.AS.Brk()
 	plan, err := bench.Build(m)
@@ -350,7 +369,7 @@ func RunQEIWithParams(bench Benchmark, params scheme.Params, mode Mode, opts ...
 	for _, o := range opts {
 		o(&cfg)
 	}
-	m := machine.NewDefault()
+	m := cfg.newMachine()
 	cfg.attach(m, nil)
 	buildStart := m.AS.Brk()
 	plan, err := bench.Build(m)
@@ -510,7 +529,7 @@ func RunQEINonBlocking(bench Benchmark, kind scheme.Kind, batch int, opts ...Run
 	if batch <= 0 {
 		batch = 32
 	}
-	m := machine.NewDefault()
+	m := cfg.newMachine()
 	cfg.attach(m, nil)
 	buildStart := m.AS.Brk()
 	plan, err := bench.Build(m)

@@ -151,6 +151,7 @@ func Experiments() []Experiment {
 		{Name: "scale", Title: "multi-core scalability", Run: Scalability},
 		{Name: "noc", Title: "NoC bandwidth utilization", Run: NoCUtilization},
 		{Name: "serving", Title: "multi-tenant serving percentiles per backend", Run: ServingPercentiles},
+		{Name: "dse", Title: "design-space Pareto frontier", Run: DSEFrontier},
 		// bench must stay last: earlier entries are indexed by position in
 		// tests and scripts.
 		{Name: "bench", Title: "machine-readable benchmark matrix", Run: BenchMatrix},

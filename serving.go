@@ -209,6 +209,9 @@ type ServingConfig struct {
 	// GenWorkers parallelizes trace generation (<= 0 = GOMAXPROCS;
 	// output is byte-identical at any value).
 	GenWorkers int
+	// Machine serves on the given chip instead of the Tab. II default
+	// (see LoadMachineSpec); nil keeps the default.
+	Machine *MachineSpec
 	// Metrics attaches the simulator metrics registry and registers the
 	// per-tenant serving counters in it.
 	Metrics bool
@@ -272,6 +275,9 @@ func RunServing(cfg ServingConfig) (*serve.Report, error) {
 // recorded it.
 func ReplayServing(cfg ServingConfig, gen serve.GenConfig, reqs []serve.Request) (*serve.Report, error) {
 	opts := []Option{WithSeed(cfg.Seed)}
+	if cfg.Machine != nil {
+		opts = append(opts, WithMachineSpec(*cfg.Machine))
+	}
 	if cfg.Metrics {
 		opts = append(opts, WithMetrics())
 	}

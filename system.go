@@ -5,6 +5,7 @@ import (
 
 	"qei/internal/cfa"
 	"qei/internal/faultinject"
+	"qei/internal/hwdesc"
 	"qei/internal/isa"
 	"qei/internal/machine"
 	"qei/internal/mem"
@@ -140,6 +141,7 @@ type sysConfig struct {
 	faults      *FaultSpec
 	cycleBudget uint64
 	fallback    *FallbackPolicy
+	spec        *MachineSpec
 }
 
 // WithQSTSize overrides the scheme's per-instance QST entry count — the
@@ -229,10 +231,23 @@ func NewSystem(s Scheme, opts ...Option) *System {
 		o(&cfg)
 	}
 	p := scheme.ForKind(s.kind())
+	m := machine.NewDefault()
+	if cfg.spec != nil {
+		// The spec contributes the chip and the accelerator sizing; the
+		// integration scheme stays NewSystem's argument. Specs are
+		// validated at construction, so materialization cannot fail.
+		d := cfg.spec.desc()
+		d.Scheme = hwdesc.SchemeName(s.kind())
+		sp, err := d.SchemeParams()
+		if err != nil {
+			panic(err) // unreachable: every MachineSpec constructor validates
+		}
+		p = sp
+		m = machine.New(d.MachineConfig())
+	}
 	if cfg.qstSize > 0 {
 		p.QSTEntriesPerInstance = cfg.qstSize
 	}
-	m := machine.NewDefault()
 	var mreg *metrics.Registry
 	if cfg.metrics {
 		mreg = metrics.NewRegistry()
