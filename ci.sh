@@ -55,6 +55,37 @@ for needle in '"p99"' '"backend": "qei"' '"backend": "baseline"' '"slo_violation
 	esac
 done
 
+# Stream smoke: a short mixed read-write stream through the epoch-
+# consistent mutation engine must retire every op with zero model
+# mismatches and zero read-after-retire violations (qeiserve exits
+# non-zero otherwise), report non-zero stream/ counters, and replay its
+# recorded trace byte-identically.
+stream_trace=$(mktemp)
+stream_out=$(go run ./cmd/qeiserve -stream -kind btree -writes 0.3 -requests 200 -keys 64 -record "$stream_trace")
+for counter in stream/ops_total stream/puts stream/dels stream/hits; do
+	case "$stream_out" in
+	*"$counter 0"*)
+		echo "stream-smoke: $counter is zero" >&2
+		rm -f "$stream_trace"
+		exit 1
+		;;
+	*"$counter "*) ;;
+	*)
+		echo "stream-smoke: missing $counter in qeiserve -stream output" >&2
+		rm -f "$stream_trace"
+		exit 1
+		;;
+	esac
+done
+stream_replay=$(go run ./cmd/qeiserve -stream -kind btree -replay "$stream_trace")
+rm -f "$stream_trace"
+live_digest=$(echo "$stream_out" | grep '^digest')
+replay_digest=$(echo "$stream_replay" | grep '^digest')
+if [ -z "$live_digest" ] || [ "$live_digest" != "$replay_digest" ]; then
+	echo "stream-smoke: trace replay diverged ($live_digest vs $replay_digest)" >&2
+	exit 1
+fi
+
 # DSE smoke: a tiny 2x2 design-space sweep must produce a non-empty
 # Pareto frontier, and the serial sweep must be byte-identical to the
 # parallel one (the determinism contract of internal/dse).

@@ -9,8 +9,11 @@
 //	qeiserve [-backend qei|baseline|both] [-tenants N] [-requests N]
 //	         [-keys N] [-keylen N] [-kind cuckoo|bst|...] [-zipf S]
 //	         [-keyzipf S] [-gap CYCLES] [-slo CYCLES] [-slots N]
+//	         [-writes F] [-delfrac F] [-writecost CYCLES]
 //	         [-seed N] [-scheme core|cha-tlb|...] [-machine preset|file.json]
 //	         [-genparallel N] [-record FILE | -replay FILE] [-json]
+//	qeiserve -stream [-kind btree] [-writes 0.3] [-requests N] [-keys N]
+//	         [-record FILE | -replay FILE] [...]
 //
 // -record writes the generated stream as a JSONL trace before serving
 // it; -replay serves a previously recorded trace instead of generating
@@ -20,6 +23,20 @@
 // turn, one fresh machine per backend. -json emits the full per-tenant
 // reports (p50/p99/p999, SLO violations, throttle counts) as a single
 // machine-readable document.
+//
+// -writes makes that fraction of each tenant's requests software
+// mutations (of which -delfrac are deletes, the rest upserts): tenant
+// tables build updatable, mutations apply between in-flight accelerated
+// lookups under epoch-based reclamation, and per-tenant write latency is
+// reported alongside the read percentiles.
+//
+// -stream switches to the single-table streaming consistency harness
+// (internal/stream): one mutable structure under a seeded mixed
+// read-write stream with a window of accelerated lookups held in flight
+// across mutations, verified op-for-op against a host model. -record /
+// -replay use the stream trace format; replays are byte-identical,
+// digest included. The run fails (exit 1) on any model mismatch or
+// read-after-retire violation.
 package main
 
 import (
@@ -74,7 +91,11 @@ func main() {
 	keyZipfFlag := flag.Float64("keyzipf", def.KeySkew, "Zipf skew of per-tenant key popularity")
 	gapFlag := flag.Uint64("gap", def.MeanGap, "mean inter-arrival gap in cycles (open loop)")
 	sloFlag := flag.Uint64("slo", def.SLO, "per-request latency SLO in cycles; 0 disables")
-	slotsFlag := flag.Int("slots", 0, "in-flight QST slots per tenant; 0 = capacity/tenants")
+	slotsFlag := flag.Int("slots", 0, "in-flight QST slots per tenant; 0 = capacity/tenants (stream mode: lookup window, 0 = 8)")
+	writesFlag := flag.Float64("writes", 0, "fraction of requests that are software mutations (0 = read-only)")
+	delFracFlag := flag.Float64("delfrac", 0.4, "fraction of mutations that are deletes (rest are upserts)")
+	writeCostFlag := flag.Uint64("writecost", 0, "simulated cycles charged per mutation; 0 = default")
+	streamFlag := flag.Bool("stream", false, "run the streaming consistency harness instead of the serving frontend")
 	seedFlag := flag.Int64("seed", def.Seed, "stream and machine seed")
 	schemeFlag := flag.String("scheme", "core", "integration scheme: core, cha-tlb, cha-notlb, device-direct, device-indirect")
 	machineFlag := flag.String("machine", "", "machine description: a preset name (default, core, cha-tlb, ...) or a JSON file; empty = the Tab. II default")
@@ -103,6 +124,9 @@ func main() {
 		KeySkew:        *keyZipfFlag,
 		MeanGap:        *gapFlag,
 		Seed:           *seedFlag,
+		WriteFraction:  *writesFlag,
+		DeleteFraction: *delFracFlag,
+		WriteCost:      *writeCostFlag,
 		SLO:            *sloFlag,
 		SlotsPerTenant: *slotsFlag,
 		GenWorkers:     *genParFlag,
@@ -115,6 +139,11 @@ func main() {
 			fail("-machine: %v", err)
 		}
 		cfg.Machine = &spec
+	}
+
+	if *streamFlag {
+		runStreamMode(cfg, *recordFlag, *replayFlag, *jsonFlag)
+		return
 	}
 
 	var backends []string
@@ -201,6 +230,16 @@ func main() {
 			fmt.Printf("%8s %9d %9d %8d %9.0f %9d %9d %9d %9d\n",
 				tenant, ts.Requests, ts.Throttled, ts.SLOViolations,
 				ts.MeanLatency, ts.P50, ts.P99, ts.P999, ts.MaxLatency)
+		}
+		if rep.Total.Writes > 0 {
+			fmt.Printf("%8s %9s %9s %9s\n", "", "writes", "write_p50", "write_p99")
+			for _, ts := range rows {
+				tenant := "all"
+				if ts.Tenant >= 0 {
+					tenant = fmt.Sprintf("%d", ts.Tenant)
+				}
+				fmt.Printf("%8s %9d %9d %9d\n", tenant, ts.Writes, ts.WriteP50, ts.WriteP99)
+			}
 		}
 		fmt.Println()
 	}

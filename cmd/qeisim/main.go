@@ -9,12 +9,19 @@
 //	       [-mode full|roi|nonroi] [-nb] [-scale small|full] [-warm] [-parallel N] \
 //	       [-machine preset|file.json] [-metrics] [-trace out.json]
 //	qeisim -faults "7:flip=0.05,spurious=0.1"
+//	qeisim -stream [-scheme core] [-machine preset|file.json]
 //
 // -faults skips the workload entirely and runs the fault-injection
 // chaos smoke: a replayable fault schedule driven through every
 // built-in structure kind via the public API, asserting that every
 // query resolves to a result, an architectural fault, or a software
 // fallback. It exits non-zero if any query fails to resolve.
+//
+// -stream runs the streaming epoch-consistency smoke instead: the
+// default mixed read-write stream against every mutable structure kind
+// on the selected scheme and machine, verified op-for-op against a host
+// model, with a replay proving determinism. It exits non-zero on any
+// mismatch, read-after-retire violation, or replay divergence.
 //
 // -scheme all runs the software baseline plus every integration scheme
 // and prints a side-by-side comparison, fanning the runs across
@@ -53,10 +60,15 @@ func main() {
 	traceFlag := flag.String("trace", "", "write the unified event trace to this file (Chrome trace-event JSON)")
 	machineFlag := flag.String("machine", "", "machine description: a preset name (default, core, cha-tlb, ...) or a JSON file; empty = the Tab. II default")
 	faultsFlag := flag.String("faults", "", "run the fault-injection chaos smoke with this seed:kind=rate,... spec and exit")
+	streamFlag := flag.Bool("stream", false, "run the streaming epoch-consistency smoke (honors -scheme and -machine) and exit")
 	flag.Parse()
 
 	if *faultsFlag != "" {
 		runFaultSmoke(*faultsFlag)
+		return
+	}
+	if *streamFlag {
+		runStreamSmoke(*schemeFlag, *machineFlag)
 		return
 	}
 

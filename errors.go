@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"qei/internal/cfa"
+	"qei/internal/dstruct"
 	"qei/internal/hwdesc"
 	"qei/internal/qei"
 )
@@ -35,6 +36,16 @@ var (
 	// memory, a pointer cycle, or bytes the firmware could not interpret
 	// (Sec. IV-D surfaces these architecturally rather than wandering).
 	ErrStructCorrupt = qei.ErrStructCorrupt
+	// ErrUnsupportedOp is returned by MutableTable.Insert and Delete for
+	// a structure kind whose software routines do not implement the
+	// operation (e.g. Delete on a singly linked list keeps the sentinel
+	// while hash tables and tries have no mutators at all).
+	ErrUnsupportedOp = errors.New("qei: operation not supported by this structure kind")
+	// ErrTableFull is returned by MutableTable.Insert when a cuckoo
+	// insertion keeps failing even after the online rehash doubled the
+	// bucket array (pathological key sets); it wraps
+	// dstruct.ErrTableFull so internal callers agree.
+	ErrTableFull = dstruct.ErrTableFull
 	// ErrUnknownKind is returned by the generic Build for a StructKind
 	// it has no builder for (KindInvalid, KindCustom, undefined values),
 	// and by QuerySoftware for a kind without a software walker.

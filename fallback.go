@@ -41,6 +41,11 @@ func (p FallbackPolicy) afterFaults() int {
 // (corrupt structure bytes) are returned as errors; tables of custom
 // firmware kinds have no software walker and return ErrUnknownKind.
 func (s *System) QuerySoftware(t Table, key []byte) (Result, error) {
+	// The software walker reads the structure too: pin the epoch across
+	// the walk so writers cannot reclaim nodes under it.
+	if pinned, ok := s.pinQuery(); ok {
+		defer s.gc.Unpin(pinned)
+	}
 	var res Result
 	var tr isa.Trace
 	switch t.Kind {

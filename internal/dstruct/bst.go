@@ -35,6 +35,10 @@ type BST struct {
 	KeyLen       uint16
 	PayloadBytes int
 	Len          int
+	// MaxDepth tracks the deepest node ever linked (builder and Insert
+	// both maintain it); NeedsRebuild compares it against the scapegoat
+	// bound. Rebuild resets it to the balanced depth.
+	MaxDepth int
 }
 
 // bstNodeSize returns a node's allocation size.
@@ -78,6 +82,7 @@ func BuildBST(as *mem.AddressSpace, seed int64, payload int, keys [][]byte, valu
 	order := rand.New(rand.NewSource(seed)).Perm(len(keys))
 	var root mem.VAddr
 	nodeSize := bstNodeSize(keyLen, payload)
+	maxDepth := 0
 
 	for _, i := range order {
 		k := keys[i]
@@ -89,9 +94,11 @@ func BuildBST(as *mem.AddressSpace, seed int64, payload int, keys [][]byte, valu
 		as.MustWrite(BSTKeyAddr(node, payload), k)
 		if root == 0 {
 			root = node
+			maxDepth = 1
 			continue
 		}
 		cur := root
+		depth := 1
 		for {
 			ck, err := readKey(as, BSTKeyAddr(cur, payload), uint16(keyLen))
 			if err != nil {
@@ -103,8 +110,12 @@ func BuildBST(as *mem.AddressSpace, seed int64, payload int, keys [][]byte, valu
 			if err != nil {
 				panic(err)
 			}
+			depth++
 			if childU == 0 {
 				as.MustWrite(slot, encodeU64(uint64(node)))
+				if depth > maxDepth {
+					maxDepth = depth
+				}
 				break
 			}
 			cur = mem.VAddr(childU)
@@ -124,6 +135,7 @@ func BuildBST(as *mem.AddressSpace, seed int64, payload int, keys [][]byte, valu
 		KeyLen:       uint16(keyLen),
 		PayloadBytes: payload,
 		Len:          len(keys),
+		MaxDepth:     maxDepth,
 	}
 }
 

@@ -42,6 +42,11 @@ type BTree struct {
 	Fanout     int
 	Height     int
 	Len        int
+	// Splits and Merges count structural rebalances performed by the
+	// software mutators (btree_update.go); the streaming experiment
+	// asserts both paths were exercised.
+	Splits int
+	Merges int
 }
 
 // btreeEntrySize returns the stride of one node entry.

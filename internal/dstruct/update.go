@@ -2,6 +2,7 @@ package dstruct
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -15,14 +16,25 @@ import (
 // the accelerator right after an update observes it — both sides read
 // the same coherent memory, exactly the property the paper's
 // cache-coherent integration provides.
+//
+// Mutators that place new nodes take a mem.Allocator so epoch-aware
+// callers can route allocations through a reclaiming allocator
+// (internal/epoch), and mutators that unlink nodes return the freed
+// mem.Extent so the caller can retire it instead of leaking it — the
+// streaming engine's whole consistency story hangs on those two hooks.
 
-// ListInsertFront prepends a key/value node to a linked list and updates
+// ErrTableFull reports a cuckoo insertion that could not place its key
+// after the bounded kick chain. Software responds by rehashing into a
+// larger bucket array (Rehash).
+var ErrTableFull = errors.New("dstruct: cuckoo table full")
+
+// InsertFront prepends a key/value node to a linked list and updates
 // the structure's header.
-func (l *LinkedList) InsertFront(as *mem.AddressSpace, key []byte, value uint64) error {
+func (l *LinkedList) InsertFront(as *mem.AddressSpace, al mem.Allocator, key []byte, value uint64) error {
 	if len(key) != int(l.KeyLen) {
 		return fmt.Errorf("dstruct: key length %d, list stores %d", len(key), l.KeyLen)
 	}
-	node := as.Alloc(ListNodeSize(int(l.KeyLen)), mem.LineSize)
+	node := al.Alloc(ListNodeSize(int(l.KeyLen)), mem.LineSize)
 	as.MustWrite(node+listOffNext, encodeU64(uint64(l.Head)))
 	as.MustWrite(node+listOffValue, encodeU64(value))
 	as.MustWrite(node+listOffKey, key)
@@ -40,25 +52,26 @@ func (l *LinkedList) InsertFront(as *mem.AddressSpace, key []byte, value uint64)
 }
 
 // Remove unlinks the first node whose key matches, reporting whether a
-// node was removed.
-func (l *LinkedList) Remove(as *mem.AddressSpace, key []byte) (bool, error) {
+// node was removed and, if so, the extent it occupied (for the caller
+// to retire).
+func (l *LinkedList) Remove(as *mem.AddressSpace, key []byte) (bool, mem.Extent, error) {
 	var prev mem.VAddr
 	node := l.Head
 	for node != 0 {
 		k, err := ListKey(as, node, l.KeyLen)
 		if err != nil {
-			return false, err
+			return false, mem.Extent{}, err
 		}
 		if bytes.Equal(k, key) {
 			next, err := ListNext(as, node)
 			if err != nil {
-				return false, err
+				return false, mem.Extent{}, err
 			}
 			if prev == 0 {
 				l.Head = next
 				hdr, err := ReadHeader(as, l.HeaderAddr)
 				if err != nil {
-					return false, err
+					return false, mem.Extent{}, err
 				}
 				hdr.Root = next
 				hdr.Size = uint64(l.Len - 1)
@@ -67,33 +80,33 @@ func (l *LinkedList) Remove(as *mem.AddressSpace, key []byte) (bool, error) {
 				as.MustWrite(prev+listOffNext, encodeU64(uint64(next)))
 			}
 			l.Len--
-			return true, nil
+			return true, mem.Extent{Addr: node, Size: ListNodeSize(int(l.KeyLen))}, nil
 		}
 		prev = node
 		node, err = ListNext(as, node)
 		if err != nil {
-			return false, err
+			return false, mem.Extent{}, err
 		}
 	}
-	return false, nil
+	return false, mem.Extent{}, nil
 }
 
 // Insert adds or updates a key in the cuckoo table, performing
-// displacement as needed. It returns an error when the table cannot
-// place the key (software would resize; the fixed-capacity hardware view
-// reports the overflow).
+// displacement as needed. It returns ErrTableFull when the bounded
+// kick chain cannot place the key — software then resizes with Rehash.
 func (c *Cuckoo) Insert(as *mem.AddressSpace, key []byte, value uint64) error {
 	if len(key) != int(c.KeyLen) {
 		return fmt.Errorf("dstruct: key length %d, table stores %d", len(key), c.KeyLen)
 	}
 	if !c.insert(as, key, value, 0) {
-		return fmt.Errorf("dstruct: cuckoo table full (len %d)", c.Len)
+		return fmt.Errorf("%w (len %d, %d buckets)", ErrTableFull, c.Len, c.NBuckets)
 	}
 	c.Len++
 	return nil
 }
 
 // Delete clears the entry holding key, reporting whether it existed.
+// Entries live inside the bucket array, so deletion frees no extent.
 func (c *Cuckoo) Delete(as *mem.AddressSpace, key []byte) (bool, error) {
 	h1, h2 := CuckooHashes(key, c.Seed, c.NBuckets)
 	for _, b := range [2]uint64{h1, h2} {
@@ -109,10 +122,64 @@ func (c *Cuckoo) Delete(as *mem.AddressSpace, key []byte) (bool, error) {
 	return false, nil
 }
 
+// LoadFactor reports the table's fill ratio.
+func (c *Cuckoo) LoadFactor() float64 {
+	return float64(c.Len) / float64(c.NBuckets*uint64(c.Entries))
+}
+
+// Rehash moves every entry into a fresh bucket array of at least
+// nBuckets buckets (rounded up to a power of two) — the online resize
+// DPDK performs when the load factor breaches its threshold. The new
+// array comes from al; the old array is returned for the caller to
+// retire once no in-flight query can still probe it. On the (for a
+// doubling, practically impossible) chance reinsertion overflows, the
+// table is left unchanged and the abandoned new array is returned with
+// ErrTableFull — the caller retires it and may retry larger.
+func (c *Cuckoo) Rehash(as *mem.AddressSpace, al mem.Allocator, nBuckets uint64) (mem.Extent, error) {
+	nBuckets = ceilPow2(nBuckets)
+	bucketSize := CuckooBucketSize(int(c.KeyLen), c.Entries)
+	old := mem.Extent{Addr: c.Buckets, Size: c.NBuckets * bucketSize}
+
+	var keys [][]byte
+	var vals []uint64
+	for b := uint64(0); b < c.NBuckets; b++ {
+		for s := 0; s < c.Entries; s++ {
+			if occ, k, v := c.readEntry(as, b, s); occ {
+				keys = append(keys, k)
+				vals = append(vals, v)
+			}
+		}
+	}
+
+	newArr := al.Alloc(nBuckets*bucketSize, mem.LineSize)
+	oldBuckets, oldN, oldLen := c.Buckets, c.NBuckets, c.Len
+	c.Buckets, c.NBuckets, c.Len = newArr, nBuckets, 0
+	for i, k := range keys {
+		if !c.insert(as, k, vals[i], 0) {
+			c.Buckets, c.NBuckets, c.Len = oldBuckets, oldN, oldLen
+			return mem.Extent{Addr: newArr, Size: nBuckets * bucketSize},
+				fmt.Errorf("%w during rehash to %d buckets", ErrTableFull, nBuckets)
+		}
+		c.Len++
+	}
+
+	// Publish the new array through the header; queries admitted from
+	// here on probe the new buckets.
+	hdr, err := ReadHeader(as, c.HeaderAddr)
+	if err != nil {
+		return mem.Extent{}, err
+	}
+	hdr.Root = newArr
+	hdr.Aux = nBuckets
+	hdr.Size = uint64(c.Len)
+	EncodeHeader(as, c.HeaderAddr, hdr)
+	return old, nil
+}
+
 // Insert adds a key to the skip list with a deterministic tower height
 // drawn from rng. The list remains sorted; duplicate keys update the
 // existing node's value in place.
-func (sl *SkipList) Insert(as *mem.AddressSpace, rng *rand.Rand, key []byte, value uint64) error {
+func (sl *SkipList) Insert(as *mem.AddressSpace, al mem.Allocator, rng *rand.Rand, key []byte, value uint64) error {
 	if len(key) != int(sl.KeyLen) {
 		return fmt.Errorf("dstruct: key length %d, list stores %d", len(key), sl.KeyLen)
 	}
@@ -155,7 +222,7 @@ func (sl *SkipList) Insert(as *mem.AddressSpace, rng *rand.Rand, key []byte, val
 	for height < sl.MaxLevel && rng.Intn(4) == 0 {
 		height++
 	}
-	n := as.Alloc(skipNodeSize(int(sl.KeyLen), height), mem.LineSize)
+	n := al.Alloc(skipNodeSize(int(sl.KeyLen), height), mem.LineSize)
 	as.MustWrite(n+skipOffHeight, encodeU64(uint64(height)))
 	as.MustWrite(n+skipOffValue, encodeU64(value))
 	as.MustWrite(SkipKeyAddr(n, height), key)
@@ -171,16 +238,81 @@ func (sl *SkipList) Insert(as *mem.AddressSpace, rng *rand.Rand, key []byte, val
 	return nil
 }
 
-// Insert adds a key to the BST (no rebalancing, as an object graph grows
-// by allocation order).
-func (b *BST) Insert(as *mem.AddressSpace, key []byte, value uint64) error {
+// Delete unlinks the node holding key from every level it appears on,
+// reporting whether it existed and the extent it occupied.
+func (sl *SkipList) Delete(as *mem.AddressSpace, key []byte) (bool, mem.Extent, error) {
+	if len(key) != int(sl.KeyLen) {
+		return false, mem.Extent{}, fmt.Errorf("dstruct: key length %d, list stores %d", len(key), sl.KeyLen)
+	}
+	update := make([]mem.VAddr, sl.MaxLevel)
+	node := sl.Head
+	for l := sl.MaxLevel - 1; l >= 0; l-- {
+		for {
+			nextU, err := as.ReadU64(SkipNextSlot(node, l))
+			if err != nil {
+				return false, mem.Extent{}, err
+			}
+			next := mem.VAddr(nextU)
+			if next == 0 {
+				break
+			}
+			nh, err := SkipHeight(as, next)
+			if err != nil {
+				return false, mem.Extent{}, err
+			}
+			nk, err := readKey(as, SkipKeyAddr(next, nh), sl.KeyLen)
+			if err != nil {
+				return false, mem.Extent{}, err
+			}
+			if bytes.Compare(nk, key) < 0 {
+				node = next
+				continue
+			}
+			break
+		}
+		update[l] = node
+	}
+	targetU, err := as.ReadU64(SkipNextSlot(update[0], 0))
+	if err != nil {
+		return false, mem.Extent{}, err
+	}
+	target := mem.VAddr(targetU)
+	if target == 0 {
+		return false, mem.Extent{}, nil
+	}
+	th, err := SkipHeight(as, target)
+	if err != nil {
+		return false, mem.Extent{}, err
+	}
+	tk, err := readKey(as, SkipKeyAddr(target, th), sl.KeyLen)
+	if err != nil {
+		return false, mem.Extent{}, err
+	}
+	if !bytes.Equal(tk, key) {
+		return false, mem.Extent{}, nil
+	}
+	for l := 0; l < th; l++ {
+		nextU, err := as.ReadU64(SkipNextSlot(target, l))
+		if err != nil {
+			return false, mem.Extent{}, err
+		}
+		as.MustWrite(SkipNextSlot(update[l], l), encodeU64(nextU))
+	}
+	sl.Len--
+	return true, mem.Extent{Addr: target, Size: skipNodeSize(int(sl.KeyLen), th)}, nil
+}
+
+// Insert adds a key to the BST (no rebalancing — an object graph grows
+// by allocation order; see NeedsRebuild/Rebuild for the explicit
+// rebalance writers run when the tree degenerates).
+func (b *BST) Insert(as *mem.AddressSpace, al mem.Allocator, key []byte, value uint64) error {
 	if len(key) != int(b.KeyLen) {
 		return fmt.Errorf("dstruct: key length %d, tree stores %d", len(key), b.KeyLen)
 	}
-	node := as.Alloc(bstNodeSize(int(b.KeyLen), b.PayloadBytes), mem.LineSize)
-	as.MustWrite(node+bstOffValue, encodeU64(value))
-	as.MustWrite(BSTKeyAddr(node, b.PayloadBytes), key)
 	if b.Root == 0 {
+		node := al.Alloc(bstNodeSize(int(b.KeyLen), b.PayloadBytes), mem.LineSize)
+		as.MustWrite(node+bstOffValue, encodeU64(value))
+		as.MustWrite(BSTKeyAddr(node, b.PayloadBytes), key)
 		b.Root = node
 		hdr, err := ReadHeader(as, b.HeaderAddr)
 		if err != nil {
@@ -189,9 +321,13 @@ func (b *BST) Insert(as *mem.AddressSpace, key []byte, value uint64) error {
 		hdr.Root = node
 		EncodeHeader(as, b.HeaderAddr, hdr)
 		b.Len++
+		if b.MaxDepth < 1 {
+			b.MaxDepth = 1
+		}
 		return nil
 	}
 	cur := b.Root
+	depth := 1
 	for {
 		ck, err := readKey(as, BSTKeyAddr(cur, b.PayloadBytes), b.KeyLen)
 		if err != nil {
@@ -207,11 +343,200 @@ func (b *BST) Insert(as *mem.AddressSpace, key []byte, value uint64) error {
 		if err != nil {
 			return err
 		}
+		depth++
 		if childU == 0 {
+			node := al.Alloc(bstNodeSize(int(b.KeyLen), b.PayloadBytes), mem.LineSize)
+			as.MustWrite(node+bstOffValue, encodeU64(value))
+			as.MustWrite(BSTKeyAddr(node, b.PayloadBytes), key)
 			as.MustWrite(slot, encodeU64(uint64(node)))
 			b.Len++
+			if depth > b.MaxDepth {
+				b.MaxDepth = depth
+			}
 			return nil
 		}
 		cur = mem.VAddr(childU)
 	}
+}
+
+// Delete removes key from the BST by the classic delete-by-copy:
+// a two-child node receives its in-order successor's key and value and
+// the successor node is spliced out instead. It reports whether the
+// key existed and the extent of the physically removed node.
+func (b *BST) Delete(as *mem.AddressSpace, key []byte) (bool, mem.Extent, error) {
+	if len(key) != int(b.KeyLen) {
+		return false, mem.Extent{}, fmt.Errorf("dstruct: key length %d, tree stores %d", len(key), b.KeyLen)
+	}
+	var parent mem.VAddr
+	var fromRight bool
+	cur := b.Root
+	for cur != 0 {
+		ck, err := readKey(as, BSTKeyAddr(cur, b.PayloadBytes), b.KeyLen)
+		if err != nil {
+			return false, mem.Extent{}, err
+		}
+		c := bytes.Compare(key, ck)
+		if c == 0 {
+			break
+		}
+		parent, fromRight = cur, c > 0
+		childU, err := as.ReadU64(BSTChildSlot(cur, c > 0))
+		if err != nil {
+			return false, mem.Extent{}, err
+		}
+		cur = mem.VAddr(childU)
+	}
+	if cur == 0 {
+		return false, mem.Extent{}, nil
+	}
+	leftU, err := as.ReadU64(BSTChildSlot(cur, false))
+	if err != nil {
+		return false, mem.Extent{}, err
+	}
+	rightU, err := as.ReadU64(BSTChildSlot(cur, true))
+	if err != nil {
+		return false, mem.Extent{}, err
+	}
+
+	var victim mem.VAddr
+	if leftU != 0 && rightU != 0 {
+		// Two children: splice out the in-order successor after copying
+		// its key and value into cur.
+		sparent, s := cur, mem.VAddr(rightU)
+		for {
+			slU, err := as.ReadU64(BSTChildSlot(s, false))
+			if err != nil {
+				return false, mem.Extent{}, err
+			}
+			if slU == 0 {
+				break
+			}
+			sparent, s = s, mem.VAddr(slU)
+		}
+		sk, err := readKey(as, BSTKeyAddr(s, b.PayloadBytes), b.KeyLen)
+		if err != nil {
+			return false, mem.Extent{}, err
+		}
+		sv, err := BSTValue(as, s)
+		if err != nil {
+			return false, mem.Extent{}, err
+		}
+		as.MustWrite(BSTKeyAddr(cur, b.PayloadBytes), sk)
+		as.MustWrite(cur+bstOffValue, encodeU64(sv))
+		srU, err := as.ReadU64(BSTChildSlot(s, true))
+		if err != nil {
+			return false, mem.Extent{}, err
+		}
+		// The successor is its parent's left child unless it is cur's
+		// immediate right child.
+		as.MustWrite(BSTChildSlot(sparent, sparent == cur), encodeU64(srU))
+		victim = s
+	} else {
+		child := leftU | rightU // at most one is non-zero
+		if parent == 0 {
+			b.Root = mem.VAddr(child)
+			hdr, err := ReadHeader(as, b.HeaderAddr)
+			if err != nil {
+				return false, mem.Extent{}, err
+			}
+			hdr.Root = mem.VAddr(child)
+			EncodeHeader(as, b.HeaderAddr, hdr)
+		} else {
+			as.MustWrite(BSTChildSlot(parent, fromRight), encodeU64(child))
+		}
+		victim = cur
+	}
+	b.Len--
+	return true, mem.Extent{Addr: victim, Size: bstNodeSize(int(b.KeyLen), b.PayloadBytes)}, nil
+}
+
+// NeedsRebuild reports whether the tree has degenerated past the
+// scapegoat bound — max depth above twice the balanced depth — and a
+// Rebuild would pay off.
+func (b *BST) NeedsRebuild() bool {
+	if b.Len < 8 {
+		return false
+	}
+	balanced := 0
+	for n := b.Len; n > 0; n >>= 1 {
+		balanced++
+	}
+	return b.MaxDepth > 2*balanced
+}
+
+// Rebuild replaces the whole tree with a perfectly balanced copy built
+// from fresh nodes — the scapegoat-style whole-tree rebalance writers
+// run when NeedsRebuild fires. Every old node is returned for the
+// caller to retire; in-flight queries keep traversing the old nodes
+// until reclamation, while queries admitted after the header write see
+// the balanced tree.
+func (b *BST) Rebuild(as *mem.AddressSpace, al mem.Allocator) ([]mem.Extent, error) {
+	nodeSize := bstNodeSize(int(b.KeyLen), b.PayloadBytes)
+	type kv struct {
+		key   []byte
+		value uint64
+	}
+	var items []kv
+	var old []mem.Extent
+	// Iterative in-order traversal.
+	var stack []mem.VAddr
+	cur := b.Root
+	for cur != 0 || len(stack) > 0 {
+		for cur != 0 {
+			stack = append(stack, cur)
+			lU, err := as.ReadU64(BSTChildSlot(cur, false))
+			if err != nil {
+				return nil, err
+			}
+			cur = mem.VAddr(lU)
+		}
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		k, err := readKey(as, BSTKeyAddr(n, b.PayloadBytes), b.KeyLen)
+		if err != nil {
+			return nil, err
+		}
+		v, err := BSTValue(as, n)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, kv{key: k, value: v})
+		old = append(old, mem.Extent{Addr: n, Size: nodeSize})
+		rU, err := as.ReadU64(BSTChildSlot(n, true))
+		if err != nil {
+			return nil, err
+		}
+		cur = mem.VAddr(rU)
+	}
+
+	var buildRange func(lo, hi int) mem.VAddr
+	buildRange = func(lo, hi int) mem.VAddr {
+		if lo > hi {
+			return 0
+		}
+		mid := (lo + hi) / 2
+		node := al.Alloc(nodeSize, mem.LineSize)
+		as.MustWrite(node+bstOffValue, encodeU64(items[mid].value))
+		as.MustWrite(BSTKeyAddr(node, b.PayloadBytes), items[mid].key)
+		as.MustWrite(BSTChildSlot(node, false), encodeU64(uint64(buildRange(lo, mid-1))))
+		as.MustWrite(BSTChildSlot(node, true), encodeU64(uint64(buildRange(mid+1, hi))))
+		return node
+	}
+	root := buildRange(0, len(items)-1)
+
+	hdr, err := ReadHeader(as, b.HeaderAddr)
+	if err != nil {
+		return nil, err
+	}
+	hdr.Root = root
+	hdr.Size = uint64(len(items))
+	EncodeHeader(as, b.HeaderAddr, hdr)
+	b.Root = root
+	b.Len = len(items)
+	depth := 0
+	for n := len(items); n > 0; n >>= 1 {
+		depth++
+	}
+	b.MaxDepth = depth
+	return old, nil
 }

@@ -15,7 +15,7 @@ func TestListInsertFrontAndRemove(t *testing.T) {
 	l := BuildLinkedList(as, keys, vals)
 
 	newKey := bytes.Repeat([]byte{0x42}, 16)
-	if err := l.InsertFront(as, newKey, 999); err != nil {
+	if err := l.InsertFront(as, as, newKey, 999); err != nil {
 		t.Fatal(err)
 	}
 	v, found, err := QueryLinkedListRef(as, l.HeaderAddr, newKey)
@@ -29,7 +29,7 @@ func TestListInsertFrontAndRemove(t *testing.T) {
 	}
 
 	// Remove a middle key.
-	ok, err := l.Remove(as, keys[5])
+	ok, _, err := l.Remove(as, keys[5])
 	if err != nil || !ok {
 		t.Fatalf("remove failed: %v %v", ok, err)
 	}
@@ -37,7 +37,7 @@ func TestListInsertFrontAndRemove(t *testing.T) {
 		t.Fatal("removed key still found")
 	}
 	// Remove the (new) head.
-	ok, err = l.Remove(as, newKey)
+	ok, _, err = l.Remove(as, newKey)
 	if err != nil || !ok {
 		t.Fatalf("head remove failed: %v %v", ok, err)
 	}
@@ -45,7 +45,7 @@ func TestListInsertFrontAndRemove(t *testing.T) {
 		t.Fatal("removed head still found")
 	}
 	// Absent key removal is a no-op.
-	if ok, _ := l.Remove(as, bytes.Repeat([]byte{0xEE}, 16)); ok {
+	if ok, _, _ := l.Remove(as, bytes.Repeat([]byte{0xEE}, 16)); ok {
 		t.Fatal("absent key reported removed")
 	}
 }
@@ -54,7 +54,7 @@ func TestListWrongKeyLengthRejected(t *testing.T) {
 	as := newAS()
 	keys, vals := genKeys(3, 16, 2)
 	l := BuildLinkedList(as, keys, vals)
-	if err := l.InsertFront(as, []byte{1, 2, 3}, 1); err == nil {
+	if err := l.InsertFront(as, as, []byte{1, 2, 3}, 1); err == nil {
 		t.Fatal("short key accepted")
 	}
 }
@@ -123,7 +123,7 @@ func TestSkipListInsert(t *testing.T) {
 
 	extra, extraVals := genKeys(60, 32, 88)
 	for i, k := range extra {
-		if err := sl.Insert(as, rng, k, extraVals[i]); err != nil {
+		if err := sl.Insert(as, as, rng, k, extraVals[i]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -159,7 +159,7 @@ func TestSkipListInsert(t *testing.T) {
 		t.Fatalf("chain has %d nodes, want 160", count)
 	}
 	// Duplicate insert updates in place.
-	if err := sl.Insert(as, rng, extra[0], 4242); err != nil {
+	if err := sl.Insert(as, as, rng, extra[0], 4242); err != nil {
 		t.Fatal(err)
 	}
 	v, _, _ := QuerySkipListRef(as, sl.HeaderAddr, extra[0])
@@ -174,7 +174,7 @@ func TestBSTInsert(t *testing.T) {
 	b := BuildBST(as, 3, 32, keys, vals)
 	extra, extraVals := genKeys(30, 8, 99)
 	for i, k := range extra {
-		if err := b.Insert(as, k, extraVals[i]); err != nil {
+		if err := b.Insert(as, as, k, extraVals[i]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -185,7 +185,7 @@ func TestBSTInsert(t *testing.T) {
 		}
 	}
 	// In-place update.
-	if err := b.Insert(as, keys[0], 777); err != nil {
+	if err := b.Insert(as, as, keys[0], 777); err != nil {
 		t.Fatal(err)
 	}
 	if v, _, _ := QueryBSTRef(as, b.HeaderAddr, keys[0]); v != 777 {
@@ -231,5 +231,165 @@ func TestPropertyCuckooUpdatesMatchMap(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSkipListDelete(t *testing.T) {
+	as := newAS()
+	keys, vals := genKeys(80, 32, 11)
+	sl := BuildSkipList(as, 9, keys, vals)
+
+	for i := 0; i < 40; i++ {
+		ok, ext, err := sl.Delete(as, keys[i])
+		if err != nil || !ok {
+			t.Fatalf("delete %d: %v %v", i, ok, err)
+		}
+		if ext.Size == 0 || ext.Addr == 0 {
+			t.Fatalf("delete %d returned empty extent", i)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if _, found, _ := QuerySkipListRef(as, sl.HeaderAddr, keys[i]); found {
+			t.Fatalf("deleted key %d still found", i)
+		}
+	}
+	for i := 40; i < 80; i++ {
+		v, found, _ := QuerySkipListRef(as, sl.HeaderAddr, keys[i])
+		if !found || v != vals[i] {
+			t.Fatalf("surviving key %d lost", i)
+		}
+	}
+	if ok, _, _ := sl.Delete(as, bytes.Repeat([]byte{0xEE}, 32)); ok {
+		t.Fatal("absent delete reported success")
+	}
+	if sl.Len != 40 {
+		t.Fatalf("Len = %d, want 40", sl.Len)
+	}
+}
+
+func TestBSTDelete(t *testing.T) {
+	as := newAS()
+	keys, vals := genKeys(60, 8, 12)
+	b := BuildBST(as, 3, 16, keys, vals)
+
+	// Delete in an order that exercises leaf, one-child, and two-child
+	// cases (the shuffled build makes the shapes vary).
+	for i := 0; i < 30; i++ {
+		ok, ext, err := b.Delete(as, keys[i])
+		if err != nil || !ok {
+			t.Fatalf("delete %d: %v %v", i, ok, err)
+		}
+		if ext.Size == 0 {
+			t.Fatalf("delete %d returned empty extent", i)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		if _, found, _ := QueryBSTRef(as, b.HeaderAddr, keys[i]); found {
+			t.Fatalf("deleted key %d still found", i)
+		}
+	}
+	for i := 30; i < 60; i++ {
+		v, found, _ := QueryBSTRef(as, b.HeaderAddr, keys[i])
+		if !found || v != vals[i] {
+			t.Fatalf("surviving key %d lost", i)
+		}
+	}
+	if b.Len != 30 {
+		t.Fatalf("Len = %d, want 30", b.Len)
+	}
+}
+
+func TestBSTDeleteToEmptyAndRefill(t *testing.T) {
+	as := newAS()
+	keys, vals := genKeys(10, 8, 13)
+	b := BuildBST(as, 3, 0, keys, vals)
+	for i := range keys {
+		if ok, _, err := b.Delete(as, keys[i]); err != nil || !ok {
+			t.Fatalf("delete %d: %v %v", i, ok, err)
+		}
+	}
+	if b.Len != 0 || b.Root != 0 {
+		t.Fatalf("tree not empty: len=%d root=%#x", b.Len, uint64(b.Root))
+	}
+	if err := b.Insert(as, as, keys[0], 5); err != nil {
+		t.Fatal(err)
+	}
+	if v, found, _ := QueryBSTRef(as, b.HeaderAddr, keys[0]); !found || v != 5 {
+		t.Fatal("refill after empty failed")
+	}
+}
+
+func TestBSTRebuildBalances(t *testing.T) {
+	as := newAS()
+	// Insert in sorted order to degenerate the tree into a list.
+	keys, vals := genKeys(64, 8, 14)
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sortIdxByKey(idx, keys)
+	b := BuildBST(as, 3, 8, keys[:1], vals[:1])
+	for _, i := range idx {
+		if err := b.Insert(as, as, keys[i], vals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !b.NeedsRebuild() {
+		t.Fatalf("degenerate tree (depth %d, len %d) not flagged", b.MaxDepth, b.Len)
+	}
+	old, err := b.Rebuild(as, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old) != b.Len {
+		t.Fatalf("rebuild freed %d nodes, tree has %d", len(old), b.Len)
+	}
+	if b.NeedsRebuild() {
+		t.Fatalf("rebuilt tree still flagged: depth %d len %d", b.MaxDepth, b.Len)
+	}
+	_, maxDepth, _, err := BSTDepthStats(as, b.HeaderAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxDepth != b.MaxDepth {
+		t.Fatalf("tracked depth %d, measured %d", b.MaxDepth, maxDepth)
+	}
+	for i, k := range keys {
+		v, found, _ := QueryBSTRef(as, b.HeaderAddr, k)
+		if !found || v != vals[i] {
+			t.Fatalf("key %d lost in rebuild", i)
+		}
+	}
+}
+
+func TestCuckooRehashDoubles(t *testing.T) {
+	as := newAS()
+	keys, vals := genKeys(100, 16, 15)
+	c := BuildCuckoo(as, 32, 4, 7, keys, vals)
+	oldArr := c.Buckets
+	oldN := c.NBuckets
+
+	ext, err := c.Rehash(as, as, oldN*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Addr != oldArr || ext.Size != oldN*CuckooBucketSize(16, 4) {
+		t.Fatalf("rehash returned extent %+v, want old array %#x", ext, uint64(oldArr))
+	}
+	if c.NBuckets != oldN*2 || c.Len != 100 {
+		t.Fatalf("rehash geometry: %d buckets, %d entries", c.NBuckets, c.Len)
+	}
+	hdr, _ := ReadHeader(as, c.HeaderAddr)
+	if hdr.Root != c.Buckets || hdr.Aux != c.NBuckets {
+		t.Fatalf("header not republished: %+v", hdr)
+	}
+	for i, k := range keys {
+		v, found, _ := QueryCuckooRef(as, c.HeaderAddr, k)
+		if !found || v != vals[i] {
+			t.Fatalf("key %d lost in rehash", i)
+		}
+	}
+	if lf := c.LoadFactor(); lf <= 0 || lf >= 1 {
+		t.Fatalf("load factor %f out of range", lf)
 	}
 }

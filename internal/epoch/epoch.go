@@ -1,0 +1,312 @@
+// Package epoch implements epoch-based reclamation for the streaming
+// mutation engine: the consistency protocol between simulated-software
+// writers and in-flight accelerator queries.
+//
+// QEI keeps updates in software (Sec. IV-A) while queries run on the
+// accelerator, and both sides read the same coherent simulated memory.
+// A writer that unlinks a node (delete, cuckoo rehash, tree rebuild)
+// must therefore not free or overwrite the node's bytes while a query
+// admitted earlier can still dereference them. The classic solution —
+// the one Linux RCU and most lock-free stores use — is epoch-based
+// reclamation:
+//
+//   - every query pins the global epoch at QST admission and unpins at
+//     completion;
+//   - writers retire unlinked extents into the current epoch's limbo
+//     list and advance the epoch after each mutation;
+//   - an extent retired in epoch e is reclaimed only once every pinned
+//     query has epoch > e — i.e. the QST has drained past the epoch.
+//
+// Reclaimed extents are poisoned (every byte overwritten with 0xDD) so
+// a protocol violation corrupts the violator's read deterministically
+// instead of silently succeeding, then recycled through a size-bucketed
+// free list so a sustained mutation stream reaches a steady-state
+// footprint instead of growing the address space forever.
+//
+// The GC doubles as a read-after-retire detector: installed as the
+// address space's ReadWatcher, it counts any simulated read that
+// touches a reclaimed-but-not-yet-reused extent. With a correct writer
+// protocol the counter stays zero; the tests include a deliberately
+// buggy writer to prove the detector has teeth.
+//
+// Everything is deterministic: given the same sequence of Pin / Retire
+// / Bump / Unpin calls, the same extents are reclaimed at the same
+// points and the free list hands back the same addresses.
+package epoch
+
+import "qei/internal/mem"
+
+// poisonByte fills reclaimed extents. 0xDD mirrors the classic
+// freed-memory fill pattern, and — decoded as a pointer — lands in
+// unmapped space, so a stale traversal faults instead of wandering.
+const poisonByte = 0xDD
+
+// Stats is a snapshot of the reclaimer's counters.
+type Stats struct {
+	// Epoch is the current global epoch.
+	Epoch uint64
+	// Pins / Unpins count reader admissions and completions.
+	Pins, Unpins uint64
+	// PinsOutstanding is Pins - Unpins.
+	PinsOutstanding uint64
+	// Retired / Reclaimed count extents through the limbo lists;
+	// RetiredBytes / ReclaimedBytes the bytes behind them.
+	Retired, Reclaimed           uint64
+	RetiredBytes, ReclaimedBytes uint64
+	// LimboExtents is how many retired extents await reclamation.
+	LimboExtents uint64
+	// Reused counts allocations served from the free list instead of
+	// fresh address space.
+	Reused uint64
+	// Violations counts reads that touched a reclaimed extent before it
+	// was reused — read-after-retire protocol violations.
+	Violations uint64
+}
+
+// limboBin collects the extents retired during one epoch.
+type limboBin struct {
+	epoch   uint64
+	extents []mem.Extent
+}
+
+// GC is the epoch-based reclaimer for one address space. It is not
+// safe for concurrent use; the simulator is single-threaded per system
+// (parallelism in this codebase is across systems, never within one).
+type GC struct {
+	as *mem.AddressSpace
+
+	epoch uint64
+	// pinned[e] counts outstanding readers pinned at epoch e. The map
+	// stays small: entries are deleted when the count drains to zero,
+	// so it holds at most the distinct epochs of in-flight queries
+	// (bounded by the QST size).
+	pinned map[uint64]uint64
+	// limbo holds per-epoch retire bins in epoch order (epochs only
+	// grow, so appends keep it sorted).
+	limbo []limboBin
+	// free holds reclaimed extents keyed by size, reused LIFO so the
+	// hottest extent comes back first and reuse is deterministic.
+	free map[uint64][]mem.Extent
+	// watched is the set of reclaimed-but-unreused extents, kept sorted
+	// by address for binary-search membership tests in ObserveRead.
+	watched []mem.Extent
+
+	stats Stats
+}
+
+// New returns a reclaimer over as and installs it as the address
+// space's read watcher so read-after-retire violations are counted.
+func New(as *mem.AddressSpace) *GC {
+	g := &GC{
+		as:     as,
+		pinned: make(map[uint64]uint64),
+		free:   make(map[uint64][]mem.Extent),
+	}
+	as.SetReadWatch(g)
+	return g
+}
+
+// Epoch returns the current global epoch.
+func (g *GC) Epoch() uint64 { return g.epoch }
+
+// Stats returns a snapshot of the reclaimer's counters.
+func (g *GC) Stats() Stats {
+	s := g.stats
+	s.Epoch = g.epoch
+	s.PinsOutstanding = s.Pins - s.Unpins
+	for _, bin := range g.limbo {
+		s.LimboExtents += uint64(len(bin.extents))
+	}
+	return s
+}
+
+// Pin records a reader entering at the current epoch (QST admission)
+// and returns the epoch to pass back to Unpin.
+func (g *GC) Pin() uint64 {
+	g.pinned[g.epoch]++
+	g.stats.Pins++
+	return g.epoch
+}
+
+// Unpin records the completion of a reader pinned at e and reclaims
+// any limbo bins the departure unblocked.
+func (g *GC) Unpin(e uint64) {
+	n, ok := g.pinned[e]
+	if !ok {
+		panic("epoch: Unpin without matching Pin")
+	}
+	if n == 1 {
+		delete(g.pinned, e)
+	} else {
+		g.pinned[e] = n - 1
+	}
+	g.stats.Unpins++
+	g.reclaim()
+}
+
+// Retire hands an unlinked extent to the reclaimer: it joins the
+// current epoch's limbo bin and will be poisoned and recycled once no
+// in-flight reader can still hold a pointer into it. Zero-sized
+// extents are ignored so callers can pass "nothing was freed" results
+// through unconditionally.
+func (g *GC) Retire(e mem.Extent) {
+	if e.Size == 0 {
+		return
+	}
+	if n := len(g.limbo); n > 0 && g.limbo[n-1].epoch == g.epoch {
+		g.limbo[n-1].extents = append(g.limbo[n-1].extents, e)
+	} else {
+		g.limbo = append(g.limbo, limboBin{epoch: g.epoch, extents: []mem.Extent{e}})
+	}
+	g.stats.Retired++
+	g.stats.RetiredBytes += e.Size
+}
+
+// Bump advances the global epoch — writers call it after publishing a
+// mutation — and reclaims whatever the advance unblocked.
+func (g *GC) Bump() {
+	g.epoch++
+	g.reclaim()
+}
+
+// minPinned returns the smallest epoch any outstanding reader holds,
+// or (current, false) when none are pinned. Map iteration order does
+// not matter: the minimum is order-independent.
+func (g *GC) minPinned() (uint64, bool) {
+	var min uint64
+	found := false
+	for e := range g.pinned {
+		if !found || e < min {
+			min, found = e, true
+		}
+	}
+	return min, found
+}
+
+// reclaim frees every limbo bin whose epoch is both strictly behind
+// the current epoch (so no new reader can pin it) and strictly behind
+// every outstanding pin (so no in-flight reader can dereference it).
+func (g *GC) reclaim() {
+	horizon := g.epoch
+	if min, ok := g.minPinned(); ok && min < horizon {
+		horizon = min
+	}
+	i := 0
+	for ; i < len(g.limbo) && g.limbo[i].epoch < horizon; i++ {
+		for _, e := range g.limbo[i].extents {
+			g.reclaimExtent(e)
+		}
+	}
+	if i > 0 {
+		g.limbo = append(g.limbo[:0], g.limbo[i:]...)
+	}
+}
+
+// reclaimExtent poisons one extent and moves it to the free list and
+// the read-watch set.
+func (g *GC) reclaimExtent(e mem.Extent) {
+	poison := make([]byte, e.Size)
+	for i := range poison {
+		poison[i] = poisonByte
+	}
+	g.as.MustWrite(e.Addr, poison)
+	g.free[e.Size] = append(g.free[e.Size], e)
+	g.watchInsert(e)
+	g.stats.Reclaimed++
+	g.stats.ReclaimedBytes += e.Size
+}
+
+// Alloc places size bytes, preferring a reclaimed extent of exactly
+// that size (LIFO) over fresh address space. It implements
+// mem.Allocator, so the dstruct mutators can run against either a bare
+// address space or the reclaimer. Reused extents leave the read-watch
+// set: their bytes are live again.
+func (g *GC) Alloc(size, align uint64) mem.VAddr {
+	if list := g.free[size]; len(list) > 0 {
+		e := list[len(list)-1]
+		if align != 0 && uint64(e.Addr)&(align-1) != 0 {
+			// All structure nodes are line-aligned, so recycled extents
+			// almost always fit; a stricter alignment falls through to a
+			// fresh allocation rather than serving a misaligned address.
+			return g.as.Alloc(size, align)
+		}
+		g.free[size] = list[:len(list)-1]
+		g.watchRemove(e)
+		// Hand the extent back zeroed so recycled memory is
+		// indistinguishable from a fresh allocation — structure bytes
+		// (and thus simulated reads) never depend on reuse history.
+		g.as.MustWrite(e.Addr, make([]byte, e.Size))
+		g.stats.Reused++
+		return e.Addr
+	}
+	return g.as.Alloc(size, align)
+}
+
+// ObserveRead implements mem.ReadWatcher: any read overlapping a
+// reclaimed-but-unreused extent is a read-after-retire violation.
+func (g *GC) ObserveRead(a mem.VAddr, n uint64) {
+	if len(g.watched) == 0 || n == 0 {
+		return
+	}
+	// First watched extent that ends after a.
+	lo, hi := 0, len(g.watched)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		e := g.watched[mid]
+		if uint64(e.Addr)+e.Size <= uint64(a) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(g.watched) && g.watched[lo].Overlaps(a, n) {
+		g.stats.Violations++
+	}
+}
+
+// Violations returns the read-after-retire violation count.
+func (g *GC) Violations() uint64 { return g.stats.Violations }
+
+// watchInsert adds e to the sorted watch set.
+func (g *GC) watchInsert(e mem.Extent) {
+	lo, hi := 0, len(g.watched)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.watched[mid].Addr < e.Addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	g.watched = append(g.watched, mem.Extent{})
+	copy(g.watched[lo+1:], g.watched[lo:])
+	g.watched[lo] = e
+}
+
+// watchRemove drops e from the sorted watch set.
+func (g *GC) watchRemove(e mem.Extent) {
+	lo, hi := 0, len(g.watched)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.watched[mid].Addr < e.Addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(g.watched) && g.watched[lo] == e {
+		g.watched = append(g.watched[:lo], g.watched[lo+1:]...)
+	}
+}
+
+// forceReclaimAll reclaims every limbo bin regardless of outstanding
+// pins — a test hook that simulates a writer violating the protocol,
+// used to prove the read-after-retire detector fires.
+func (g *GC) forceReclaimAll() {
+	for _, bin := range g.limbo {
+		for _, e := range bin.extents {
+			g.reclaimExtent(e)
+		}
+	}
+	g.limbo = g.limbo[:0]
+}

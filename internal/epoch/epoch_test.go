@@ -1,0 +1,256 @@
+package epoch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qei/internal/mem"
+)
+
+func newGC() (*GC, *mem.AddressSpace) {
+	as := mem.NewAddressSpace(mem.NewPhysical())
+	return New(as), as
+}
+
+// TestRetireHeldByPin checks the core guarantee: an extent retired
+// while a reader is pinned at (or before) the retire epoch is not
+// reclaimed until that reader unpins.
+func TestRetireHeldByPin(t *testing.T) {
+	g, as := newGC()
+	e := mem.Extent{Addr: as.Alloc(64, mem.LineSize), Size: 64}
+	as.MustWrite(e.Addr, []byte{1, 2, 3, 4})
+
+	pin := g.Pin()
+	g.Retire(e)
+	g.Bump()
+	g.Bump()
+	if s := g.Stats(); s.Reclaimed != 0 || s.LimboExtents != 1 {
+		t.Fatalf("reclaimed under an outstanding pin: %+v", s)
+	}
+	// The bytes must be untouched while the reader holds its pin.
+	var b [4]byte
+	as.MustRead(e.Addr, b[:])
+	if b != [4]byte{1, 2, 3, 4} {
+		t.Fatalf("retired-but-pinned bytes changed: %v", b)
+	}
+
+	g.Unpin(pin)
+	if s := g.Stats(); s.Reclaimed != 1 || s.LimboExtents != 0 {
+		t.Fatalf("drained pin did not unblock reclamation: %+v", s)
+	}
+	as.MustRead(e.Addr, b[:])
+	if b != [4]byte{0xDD, 0xDD, 0xDD, 0xDD} {
+		t.Fatalf("reclaimed extent not poisoned: %v", b)
+	}
+}
+
+// TestReclaimNeedsEpochAdvance checks an extent retired in the current
+// epoch stays in limbo even with no readers: a reader admitted right
+// now could still be handed a pointer into it.
+func TestReclaimNeedsEpochAdvance(t *testing.T) {
+	g, as := newGC()
+	e := mem.Extent{Addr: as.Alloc(64, mem.LineSize), Size: 64}
+	g.Retire(e)
+	g.Unpin(g.Pin()) // a full pin/unpin cycle at the same epoch
+	if s := g.Stats(); s.Reclaimed != 0 {
+		t.Fatalf("reclaimed an extent retired in the current epoch: %+v", s)
+	}
+	g.Bump()
+	if s := g.Stats(); s.Reclaimed != 1 {
+		t.Fatalf("epoch advance with no pins did not reclaim: %+v", s)
+	}
+}
+
+// TestAllocReusesReclaimedZeroed checks the free list serves reclaimed
+// extents LIFO by exact size, zeroed so recycled memory reads like a
+// fresh allocation, and that reused extents leave the watch set.
+func TestAllocReusesReclaimedZeroed(t *testing.T) {
+	g, as := newGC()
+	a1 := as.Alloc(128, mem.LineSize)
+	a2 := as.Alloc(128, mem.LineSize)
+	g.Retire(mem.Extent{Addr: a1, Size: 128})
+	g.Retire(mem.Extent{Addr: a2, Size: 128})
+	g.Bump()
+
+	if got := g.Alloc(64, mem.LineSize); got == a1 || got == a2 {
+		t.Fatal("wrong-size allocation reused a 128-byte extent")
+	}
+	if got := g.Alloc(128, mem.LineSize); got != a2 {
+		t.Fatalf("first reuse = %#x, want LIFO %#x", got, a2)
+	}
+	var b [8]byte
+	as.MustRead(a2, b[:])
+	if b != [8]byte{} {
+		t.Fatalf("reused extent not zeroed: %v", b)
+	}
+	// The reused extent must no longer count reads as violations.
+	as.MustRead(a2, b[:])
+	if g.Violations() != 0 {
+		t.Fatal("read of a reused extent counted as a violation")
+	}
+	if got := g.Alloc(128, mem.LineSize); got != a1 {
+		t.Fatalf("second reuse = %#x, want %#x", got, a1)
+	}
+	if s := g.Stats(); s.Reused != 2 {
+		t.Fatalf("Reused = %d, want 2", s.Reused)
+	}
+}
+
+// TestReadAfterRetireDetectorFires proves the detector has teeth: a
+// read overlapping a reclaimed-but-unreused extent is counted.
+func TestReadAfterRetireDetectorFires(t *testing.T) {
+	g, as := newGC()
+	a := as.Alloc(64, mem.LineSize)
+	before := as.Alloc(64, mem.LineSize) // live neighbour
+	g.Retire(mem.Extent{Addr: a, Size: 64})
+	g.Bump()
+
+	var b [8]byte
+	as.MustRead(before, b[:])
+	if g.Violations() != 0 {
+		t.Fatal("read of live memory flagged as violation")
+	}
+	as.MustRead(a+16, b[:])
+	if g.Violations() != 1 {
+		t.Fatalf("Violations = %d after stale read, want 1", g.Violations())
+	}
+	// A spanning read that clips the extent counts too.
+	big := make([]byte, 32)
+	as.MustRead(a+48, big) // last 16 bytes of extent + 16 past it
+	if g.Violations() != 2 {
+		t.Fatalf("Violations = %d after spanning read, want 2", g.Violations())
+	}
+}
+
+// TestForceReclaimViolatesPins exercises the buggy-writer hook: force
+// reclamation under an outstanding pin, and the pinned reader's
+// subsequent read is flagged.
+func TestForceReclaimViolatesPins(t *testing.T) {
+	g, as := newGC()
+	a := as.Alloc(64, mem.LineSize)
+	pin := g.Pin()
+	g.Retire(mem.Extent{Addr: a, Size: 64})
+	g.forceReclaimAll()
+	var b [8]byte
+	as.MustRead(a, b[:]) // the pinned reader dereferences its pointer
+	if g.Violations() != 1 {
+		t.Fatalf("Violations = %d, want 1", g.Violations())
+	}
+	g.Unpin(pin)
+}
+
+// TestUnpinWithoutPinPanics pins the misuse contract.
+func TestUnpinWithoutPinPanics(t *testing.T) {
+	g, _ := newGC()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unpin without Pin did not panic")
+		}
+	}()
+	g.Unpin(0)
+}
+
+// TestPropertyNoReclaimUnderPin drives random interleavings of
+// pin/unpin/retire/bump and checks the invariant directly: an extent
+// retired at epoch e is never reclaimed while any outstanding pin has
+// epoch <= e. Reclamation order and free-list reuse must also be
+// deterministic for identical call sequences.
+func TestPropertyNoReclaimUnderPin(t *testing.T) {
+	run := func(seed int64) (violated bool, trace []uint64) {
+		rng := rand.New(rand.NewSource(seed))
+		g, as := newGC()
+		type pinRec struct{ epoch uint64 }
+		var pins []pinRec
+		retired := map[mem.Extent]uint64{} // extent -> retire epoch
+		var live []mem.Extent
+
+		minPin := func() (uint64, bool) {
+			var m uint64
+			ok := false
+			for _, p := range pins {
+				if !ok || p.epoch < m {
+					m, ok = p.epoch, true
+				}
+			}
+			return m, ok
+		}
+
+		for step := 0; step < 400; step++ {
+			switch op := rng.Intn(5); {
+			case op == 0: // pin
+				pins = append(pins, pinRec{epoch: g.Pin()})
+			case op == 1 && len(pins) > 0: // unpin a random reader
+				i := rng.Intn(len(pins))
+				g.Unpin(pins[i].epoch)
+				pins = append(pins[:i], pins[i+1:]...)
+			case op == 2: // allocate a live extent
+				sz := uint64(64 * (1 + rng.Intn(3)))
+				live = append(live, mem.Extent{Addr: g.Alloc(sz, mem.LineSize), Size: sz})
+			case op == 3 && len(live) > 0: // retire a live extent
+				i := rng.Intn(len(live))
+				retired[live[i]] = g.Epoch()
+				g.Retire(live[i])
+				live = append(live[:i], live[i+1:]...)
+			default:
+				g.Bump()
+			}
+			// Invariant: reclaimed extents (poisoned first byte, not yet
+			// reused — nothing is reused here since Alloc sizes rotate
+			// before anything frees) must all have retire epoch strictly
+			// below every outstanding pin.
+			if m, ok := minPin(); ok {
+				var b [1]byte
+				for ext, e := range retired {
+					as.MustRead(ext.Addr, b[:])
+					if b[0] == poisonByte && e >= m {
+						return true, trace
+					}
+				}
+				// Those probe reads may themselves hit watched extents;
+				// reset the violation counter's influence by ignoring it
+				// (the invariant under test is reclamation timing).
+			}
+			trace = append(trace, g.Stats().Reclaimed)
+		}
+		return false, trace
+	}
+
+	f := func(seed int64) bool {
+		violated, t1 := run(seed)
+		if violated {
+			return false
+		}
+		// Determinism: same seed, same reclamation trajectory.
+		_, t2 := run(seed)
+		if len(t1) != len(t2) {
+			return false
+		}
+		for i := range t1 {
+			if t1[i] != t2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatsAccounting checks the byte counters line up.
+func TestStatsAccounting(t *testing.T) {
+	g, as := newGC()
+	g.Retire(mem.Extent{Addr: as.Alloc(64, mem.LineSize), Size: 64})
+	g.Retire(mem.Extent{Addr: as.Alloc(192, mem.LineSize), Size: 192})
+	g.Retire(mem.Extent{}) // zero-size: ignored
+	s := g.Stats()
+	if s.Retired != 2 || s.RetiredBytes != 256 || s.LimboExtents != 2 {
+		t.Fatalf("retire accounting: %+v", s)
+	}
+	g.Bump()
+	s = g.Stats()
+	if s.Reclaimed != 2 || s.ReclaimedBytes != 256 || s.LimboExtents != 0 {
+		t.Fatalf("reclaim accounting: %+v", s)
+	}
+}

@@ -45,6 +45,34 @@ type PAddr uint64
 // Line returns the address of the cacheline containing a.
 func (a VAddr) Line() VAddr { return a &^ (LineSize - 1) }
 
+// Extent is a contiguous virtual range: the unit the epoch-based
+// reclaimer retires, poisons, and recycles (internal/epoch), and the
+// unit the dstruct mutators report when they unlink a node.
+type Extent struct {
+	Addr VAddr
+	Size uint64
+}
+
+// Overlaps reports whether the extent intersects [a, a+n).
+func (e Extent) Overlaps(a VAddr, n uint64) bool {
+	return uint64(a) < uint64(e.Addr)+e.Size && uint64(e.Addr) < uint64(a)+n
+}
+
+// Allocator is the subset of AddressSpace the structure mutators need
+// to place new nodes. epoch.GC implements it too, recycling reclaimed
+// extents instead of growing the address space forever.
+type Allocator interface {
+	Alloc(size, align uint64) VAddr
+}
+
+// ReadWatcher observes every successful virtual read (see
+// SetReadWatch). The epoch reclaimer uses it to flag dereferences of
+// reclaimed-but-not-yet-reused extents — the read-after-retire bug
+// class the epoch protocol exists to prevent.
+type ReadWatcher interface {
+	ObserveRead(a VAddr, n uint64)
+}
+
 // Page returns the virtual page number containing a.
 func (a VAddr) Page() uint64 { return uint64(a) >> PageShift }
 
@@ -204,7 +232,16 @@ type AddressSpace struct {
 	// fi may corrupt data returned by Read while armed (see
 	// SetFaultInjector); nil disables injection.
 	fi *faultinject.Injector
+	// watch observes successful reads (see SetReadWatch); nil disables
+	// the hook, so read-only systems pay one comparison.
+	watch ReadWatcher
 }
+
+// SetReadWatch installs (or clears, with nil) a watcher that sees every
+// successful Read. The hook fires after the copy, on both the
+// single-page fast path and the multi-page path, so a watcher observes
+// exactly the ranges the simulated machine dereferenced.
+func (as *AddressSpace) SetReadWatch(w ReadWatcher) { as.watch = w }
 
 // ASOption configures an AddressSpace.
 type ASOption func(*AddressSpace)
@@ -381,6 +418,9 @@ func (as *AddressSpace) Read(a VAddr, dst []byte) error {
 		// The injector sees the same post-range address the multi-page
 		// path below would hand it.
 		as.fi.MaybeFlip(uint64(a)+n, dst)
+		if as.watch != nil {
+			as.watch.ObserveRead(a, n)
+		}
 		return nil
 	}
 	origDst := dst
@@ -400,6 +440,9 @@ func (as *AddressSpace) Read(a VAddr, dst []byte) error {
 	// A bit-flip corrupts only this read's view of the data — stored
 	// memory stays intact, modelling a transient upset on the read path.
 	as.fi.MaybeFlip(uint64(a), origDst)
+	if as.watch != nil {
+		as.watch.ObserveRead(a-VAddr(len(origDst)), uint64(len(origDst)))
+	}
 	return nil
 }
 

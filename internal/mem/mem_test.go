@@ -231,3 +231,76 @@ func TestPropertyNoFrameAliasing(t *testing.T) {
 		seen[pa.Frame()] = a.Page()
 	}
 }
+
+// recordingWatcher collects every observed read range.
+type recordingWatcher struct {
+	ranges []Extent
+}
+
+func (w *recordingWatcher) ObserveRead(a VAddr, n uint64) {
+	w.ranges = append(w.ranges, Extent{Addr: a, Size: n})
+}
+
+// TestReadWatchObservesBothPaths checks the read-watch hook reports the
+// exact dereferenced range on the single-page fast path and on the
+// multi-page slow path, and that clearing it silences the hook.
+func TestReadWatchObservesBothPaths(t *testing.T) {
+	as := NewAddressSpace(NewPhysical())
+	w := &recordingWatcher{}
+	as.SetReadWatch(w)
+
+	small := as.Alloc(64, LineSize)
+	var buf8 [8]byte
+	if err := as.Read(small, buf8[:]); err != nil {
+		t.Fatal(err)
+	}
+	big := as.Alloc(3*PageSize, PageSize)
+	span := make([]byte, 2*PageSize+100)
+	if err := as.Read(big+50, span); err != nil {
+		t.Fatal(err)
+	}
+	want := []Extent{
+		{Addr: small, Size: 8},
+		{Addr: big + 50, Size: uint64(len(span))},
+	}
+	if len(w.ranges) != len(want) {
+		t.Fatalf("observed %d reads, want %d: %+v", len(w.ranges), len(want), w.ranges)
+	}
+	for i, r := range w.ranges {
+		if r != want[i] {
+			t.Fatalf("read %d observed as %+v, want %+v", i, r, want[i])
+		}
+	}
+
+	as.SetReadWatch(nil)
+	if err := as.Read(small, buf8[:]); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.ranges) != len(want) {
+		t.Fatal("cleared watcher still observed a read")
+	}
+}
+
+// TestExtentOverlaps pins the half-open overlap arithmetic the epoch
+// reclaimer's read watch depends on.
+func TestExtentOverlaps(t *testing.T) {
+	e := Extent{Addr: 100, Size: 50}
+	cases := []struct {
+		a    VAddr
+		n    uint64
+		want bool
+	}{
+		{0, 100, false},  // ends exactly at the extent
+		{0, 101, true},   // one byte in
+		{149, 1, true},   // last byte
+		{150, 10, false}, // starts exactly past it
+		{120, 5, true},   // inside
+		{90, 200, true},  // covers
+		{100, 50, true},  // exact
+	}
+	for _, c := range cases {
+		if got := e.Overlaps(c.a, c.n); got != c.want {
+			t.Fatalf("Overlaps(%d,%d) = %v, want %v", c.a, c.n, got, c.want)
+		}
+	}
+}

@@ -33,6 +33,26 @@ package serve
 
 import "errors"
 
+// Op identifies a request's operation kind. The zero value is a lookup,
+// so read-only streams — and every v1 trace, which predates the op
+// field — need no annotation and replay unchanged.
+type Op string
+
+// The three request operations: accelerated lookup (the default),
+// software insert/update, software delete.
+const (
+	OpGet Op = ""
+	OpPut Op = "put"
+	OpDel Op = "del"
+)
+
+func (o Op) String() string {
+	if o == OpGet {
+		return "get"
+	}
+	return string(o)
+}
+
 // Table is an opaque backend table handle: Build returns it and Query
 // routes on it. Backends define the concrete type.
 type Table any
@@ -109,4 +129,22 @@ type Backend interface {
 	Capacity() int
 	// Stats reports accumulated backend activity.
 	Stats() Stats
+}
+
+// Mutator is the optional write-path extension of Backend: a backend
+// that also supports software mutations implements it, and the server
+// requires it only when the request stream actually contains writes —
+// read-only streams run on plain Backends untouched. Mutations are
+// software routines on the backend's machine (per the paper, QEI
+// accelerates queries only), so they apply immediately; the server
+// charges their cycle cost to the clock (Config.WriteCost).
+type Mutator interface {
+	// BuildMutable lays out one updatable table of the named kind; the
+	// returned handle is accepted by Query/QueryAsync and Insert/Delete
+	// alike.
+	BuildMutable(kind string, keys [][]byte, values []uint64) (Table, error)
+	// Insert adds or updates a key/value pair in software.
+	Insert(t Table, key []byte, value uint64) error
+	// Delete removes a key, reporting whether it existed.
+	Delete(t Table, key []byte) (bool, error)
 }

@@ -210,6 +210,7 @@ type fakeBackend struct {
 	cap      int
 	inflight int
 	queries  uint64
+	writes   uint64
 	tables   []map[string]uint64
 }
 
@@ -280,6 +281,42 @@ func (f *fakeBackend) Now() uint64      { return f.now }
 func (f *fakeBackend) Advance(n uint64) { f.now += n }
 func (f *fakeBackend) Capacity() int    { return f.cap }
 func (f *fakeBackend) Stats() Stats     { return Stats{Queries: f.queries} }
+
+// fakeBackend also implements Mutator: map tables are mutable as-is.
+func (f *fakeBackend) BuildMutable(kind string, keys [][]byte, values []uint64) (Table, error) {
+	return f.Build(kind, keys, values)
+}
+
+func (f *fakeBackend) Insert(t Table, key []byte, value uint64) error {
+	f.tables[int(t.(fakeTable))][string(key)] = value
+	f.writes++
+	return nil
+}
+
+func (f *fakeBackend) Delete(t Table, key []byte) (bool, error) {
+	m := f.tables[int(t.(fakeTable))]
+	_, ok := m[string(key)]
+	delete(m, string(key))
+	f.writes++
+	return ok, nil
+}
+
+// roBackend strips the Mutator methods off a fakeBackend, modeling a
+// backend with no write path.
+type roBackend struct{ f *fakeBackend }
+
+func (r roBackend) Name() string { return r.f.Name() }
+func (r roBackend) Build(kind string, keys [][]byte, values []uint64) (Table, error) {
+	return r.f.Build(kind, keys, values)
+}
+func (r roBackend) Query(t Table, key []byte) (Result, error)      { return r.f.Query(t, key) }
+func (r roBackend) QueryAsync(t Table, key []byte) (Handle, error) { return r.f.QueryAsync(t, key) }
+func (r roBackend) Poll(h Handle) (Result, error)                  { return r.f.Poll(h) }
+func (r roBackend) Wait(h Handle) (Result, error)                  { return r.f.Wait(h) }
+func (r roBackend) Now() uint64                                    { return r.f.Now() }
+func (r roBackend) Advance(n uint64)                               { r.f.Advance(n) }
+func (r roBackend) Capacity() int                                  { return r.f.Capacity() }
+func (r roBackend) Stats() Stats                                   { return r.f.Stats() }
 
 func TestServerRunFake(t *testing.T) {
 	cfg := Config{Gen: testGen(), SLO: 400, KeepResults: true}
@@ -431,6 +468,157 @@ func TestTenantKeysUnique(t *testing.T) {
 			if values[r] == 0 {
 				t.Fatal("zero value")
 			}
+		}
+	}
+}
+
+// testGenRW is testGen with a 30% write mix (of which 30% deletes).
+func testGenRW() GenConfig {
+	cfg := testGen()
+	cfg.WriteFraction = 0.3
+	cfg.DeleteFraction = 0.3
+	return cfg
+}
+
+// Enabling writes must not perturb the read-side stream: arrivals, keys
+// and tenants are drawn from their own RNGs, so the mixed stream is the
+// read-only stream with ops annotated onto it.
+func TestGenerateWritesPreserveArrivals(t *testing.T) {
+	ro, err := Generate(testGen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := Generate(testGenRW())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ro) != len(rw) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(ro), len(rw))
+	}
+	var gets, puts, dels int
+	for i := range rw {
+		if rw[i].At != ro[i].At || rw[i].Tenant != ro[i].Tenant || !bytes.Equal(rw[i].Key, ro[i].Key) {
+			t.Fatalf("request %d read side diverged: %+v vs %+v", i, rw[i], ro[i])
+		}
+		switch rw[i].Op {
+		case OpGet:
+			gets++
+		case OpPut:
+			puts++
+			if rw[i].Value == 0 {
+				t.Fatalf("request %d: zero put value", i)
+			}
+		case OpDel:
+			dels++
+		}
+	}
+	if gets == 0 || puts == 0 || dels == 0 {
+		t.Fatalf("stream not mixed: %d gets %d puts %d dels", gets, puts, dels)
+	}
+}
+
+func TestTraceRoundTripWithOps(t *testing.T) {
+	cfg := testGenRW()
+	reqs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, cfg, reqs); err != nil {
+		t.Fatal(err)
+	}
+	gotCfg, gotReqs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCfg != cfg || !reflect.DeepEqual(gotReqs, reqs) {
+		t.Fatal("mixed-stream trace round-trip differs")
+	}
+
+	// Read-only traces never mention ops — byte-compatible with the
+	// pre-write format.
+	buf.Reset()
+	roReqs, err := Generate(testGen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(&buf, testGen(), roReqs); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"op"`)) ||
+		bytes.Contains(buf.Bytes(), []byte("write_fraction")) {
+		t.Fatal("read-only trace mentions write fields")
+	}
+}
+
+func TestServerMixedReadWrite(t *testing.T) {
+	gen := testGenRW()
+	reqs, err := Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (*Report, *metrics.Registry) {
+		reg := metrics.NewRegistry()
+		cfg := Config{Gen: gen, SLO: 400, WriteCost: 100, KeepResults: true, Metrics: reg}
+		rep, err := Run(&fakeBackend{lat: 200, cap: 8}, cfg, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, reg
+	}
+	rep, reg := run()
+	if rep.Total.Writes == 0 {
+		t.Fatal("mixed stream retired no writes")
+	}
+	if got := rep.Total.Requests + rep.Total.Writes; got != uint64(len(reqs)) {
+		t.Fatalf("reads %d + writes %d != %d requests", rep.Total.Requests, rep.Total.Writes, len(reqs))
+	}
+	// Deletes must make some subsequent lookups miss.
+	if rep.Total.Found == rep.Total.Requests {
+		t.Fatal("every lookup hit despite deletes")
+	}
+	// Write latency includes the configured mutation cost.
+	if rep.Total.WriteP50 < 100 || rep.Total.WriteP99 < rep.Total.WriteP50 {
+		t.Fatalf("write percentiles: p50 %d p99 %d", rep.Total.WriteP50, rep.Total.WriteP99)
+	}
+	snap := reg.Snapshot()
+	if v := snap.Value("serve/writes"); v != rep.Total.Writes {
+		t.Fatalf("serve/writes = %d, want %d", v, rep.Total.Writes)
+	}
+	// Put results carry the written value; del results report prior
+	// existence.
+	for i, res := range rep.Results {
+		if reqs[i].Op == OpPut && (res.Value != reqs[i].Value || !res.Found) {
+			t.Fatalf("request %d put result %+v", i, res)
+		}
+	}
+	// Deterministic: an identical rerun matches field for field.
+	rep2, _ := run()
+	if !reflect.DeepEqual(rep, rep2) {
+		t.Fatal("mixed-stream rerun diverged")
+	}
+}
+
+func TestServerWritesNeedMutator(t *testing.T) {
+	gen := testGenRW()
+	reqs, err := Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(roBackend{&fakeBackend{lat: 10, cap: 4}}, Config{Gen: gen}, reqs)
+	if err == nil {
+		t.Fatal("write stream accepted by a backend with no write path")
+	}
+}
+
+func TestGenConfigValidateWriteFractions(t *testing.T) {
+	for _, bad := range []GenConfig{
+		func() GenConfig { c := testGen(); c.WriteFraction = -0.1; return c }(),
+		func() GenConfig { c := testGen(); c.WriteFraction = 1.5; return c }(),
+		func() GenConfig { c := testGen(); c.DeleteFraction = 2; return c }(),
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("bad write fractions accepted: %+v", bad)
 		}
 	}
 }

@@ -29,6 +29,22 @@ type Config struct {
 	// (indexed by Request.Seq) — the hook the backend-equivalence tests
 	// use. Off for large runs.
 	KeepResults bool
+	// WriteCost is the simulated-cycle charge per software mutation
+	// (mutations are host routines; QEI accelerates queries only). 0
+	// uses defaultWriteCost.
+	WriteCost uint64
+}
+
+// defaultWriteCost approximates a software insert/delete's execution
+// time: a few cache-missing probes plus the splice, ~an order above a
+// hot lookup.
+const defaultWriteCost = 500
+
+func (c Config) writeCost() uint64 {
+	if c.WriteCost > 0 {
+		return c.WriteCost
+	}
+	return defaultWriteCost
 }
 
 // TenantStats is one tenant's serving outcome (Tenant == -1 for the
@@ -45,6 +61,12 @@ type TenantStats struct {
 	P99           uint64  `json:"p99"`
 	P999          uint64  `json:"p999"`
 	MaxLatency    uint64  `json:"max_latency"`
+	// Write-path counters; omitted from JSON on read-only runs so
+	// existing reports stay byte-identical. Requests above counts reads
+	// only — Requests+Writes is the tenant's full stream.
+	Writes   uint64 `json:"writes,omitempty"`
+	WriteP50 uint64 `json:"write_p50,omitempty"`
+	WriteP99 uint64 `json:"write_p99,omitempty"`
 }
 
 // Report is the outcome of one serving run: per-tenant percentile rows,
@@ -70,7 +92,9 @@ type Report struct {
 // is in flight.
 type tenantAcct struct {
 	hist     LatencyHist
+	whist    LatencyHist
 	requests uint64
+	writes   uint64
 	found    uint64
 	faults   uint64
 	sloViol  uint64
@@ -95,10 +119,30 @@ func Run(b Backend, cfg Config, reqs []Request) (*Report, error) {
 		return nil, err
 	}
 	tenants := cfg.Gen.Tenants
+	// A stream with any mutation needs the backend's write path; tables
+	// are then built updatable. Read-only streams keep the plain Backend
+	// contract and immutable layouts.
+	var mut Mutator
+	for i := range reqs {
+		if reqs[i].Op != OpGet {
+			m, ok := b.(Mutator)
+			if !ok {
+				return nil, fmt.Errorf("serve: stream has writes but backend %s has no write path", b.Name())
+			}
+			mut = m
+			break
+		}
+	}
 	tables := make([]Table, tenants)
 	for t := range tables {
 		keys, values := TenantKeys(cfg.Gen, t)
-		tbl, err := b.Build(cfg.Gen.Kind, keys, values)
+		var tbl Table
+		var err error
+		if mut != nil {
+			tbl, err = mut.BuildMutable(cfg.Gen.Kind, keys, values)
+		} else {
+			tbl, err = b.Build(cfg.Gen.Kind, keys, values)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("serve: tenant %d build: %w", t, err)
 		}
@@ -111,12 +155,12 @@ func Run(b Backend, cfg Config, reqs []Request) (*Report, error) {
 	}
 	adm := NewAdmission(tenants, slots)
 	acct := make([]tenantAcct, tenants)
-	var total LatencyHist
+	var total, wtotal LatencyHist
 	var rep Report
 	if cfg.KeepResults {
 		rep.Results = make([]Result, len(reqs))
 	}
-	registerMetrics(cfg.Metrics, adm, acct, &total)
+	registerMetrics(cfg.Metrics, adm, acct, &total, &wtotal)
 
 	retire := func(q inflight, res Result) {
 		lat := uint64(0)
@@ -184,6 +228,46 @@ func Run(b Backend, cfg Config, reqs []Request) (*Report, error) {
 		if err := pollRetire(); err != nil {
 			return nil, err
 		}
+		// Writes apply immediately in software, bypassing QST admission:
+		// the mutator runs on the host while earlier lookups stay in
+		// flight (epoch reclamation keeps them consistent). The mutation
+		// routine's execution time advances the clock and is charged to
+		// this request's write latency.
+		if req.Op != OpGet {
+			var res Result
+			switch req.Op {
+			case OpPut:
+				if err := mut.Insert(tables[req.Tenant], req.Key, req.Value); err != nil {
+					return nil, fmt.Errorf("serve: request %d put: %w", req.Seq, err)
+				}
+				res = Result{Found: true, Value: req.Value}
+			case OpDel:
+				ok, err := mut.Delete(tables[req.Tenant], req.Key)
+				if err != nil {
+					return nil, fmt.Errorf("serve: request %d del: %w", req.Seq, err)
+				}
+				res = Result{Found: ok}
+			default:
+				return nil, fmt.Errorf("serve: request %d has unknown op %q", req.Seq, req.Op)
+			}
+			b.Advance(cfg.writeCost())
+			res.Done = b.Now()
+			lat := uint64(0)
+			if res.Done > req.At {
+				lat = res.Done - req.At
+			}
+			a := &acct[req.Tenant]
+			a.writes++
+			a.whist.Observe(lat)
+			wtotal.Observe(lat)
+			if cfg.SLO > 0 && lat > cfg.SLO {
+				a.sloViol++
+			}
+			if cfg.KeepResults && req.Seq >= 0 && req.Seq < len(rep.Results) {
+				rep.Results[req.Seq] = res
+			}
+			continue
+		}
 		// Per-tenant admission: over-bound requests wait on their own
 		// tenant's oldest in-flight query — other tenants keep their
 		// slots — and the wait is charged to this request's latency.
@@ -237,10 +321,11 @@ func Run(b Backend, cfg Config, reqs []Request) (*Report, error) {
 	for t := range acct {
 		rep.Tenants[t] = tenantRow(t, &acct[t], adm.Throttled(t))
 	}
-	agg := tenantAcct{hist: total}
+	agg := tenantAcct{hist: total, whist: wtotal}
 	var thrTotal uint64
 	for t := range acct {
 		agg.requests += acct[t].requests
+		agg.writes += acct[t].writes
 		agg.found += acct[t].found
 		agg.faults += acct[t].faults
 		agg.sloViol += acct[t].sloViol
@@ -264,6 +349,9 @@ func tenantRow(t int, a *tenantAcct, throttled uint64) TenantStats {
 		P99:           a.hist.Quantile(0.99),
 		P999:          a.hist.Quantile(0.999),
 		MaxLatency:    a.hist.Max(),
+		Writes:        a.writes,
+		WriteP50:      a.whist.Quantile(0.50),
+		WriteP99:      a.whist.Quantile(0.99),
 	}
 }
 
@@ -272,7 +360,7 @@ func tenantRow(t int, a *tenantAcct, throttled uint64) TenantStats {
 // latency percentiles under serve/tenant<N>/, aggregates under serve/.
 // Everything is pull-based (RegisterFunc), so the serving hot loop pays
 // nothing for it.
-func registerMetrics(reg *metrics.Registry, adm *Admission, acct []tenantAcct, total *LatencyHist) {
+func registerMetrics(reg *metrics.Registry, adm *Admission, acct []tenantAcct, total, wtotal *LatencyHist) {
 	if reg == nil {
 		return
 	}
@@ -282,6 +370,7 @@ func registerMetrics(reg *metrics.Registry, adm *Admission, acct []tenantAcct, t
 		a := &acct[t]
 		treg := sreg.Scoped(fmt.Sprintf("tenant%d", t))
 		treg.RegisterFunc("requests", func() uint64 { return a.requests })
+		treg.RegisterFunc("writes", func() uint64 { return a.writes })
 		treg.RegisterFunc("found", func() uint64 { return a.found })
 		treg.RegisterFunc("faults", func() uint64 { return a.faults })
 		treg.RegisterFunc("slo_violations", func() uint64 { return a.sloViol })
@@ -291,7 +380,9 @@ func registerMetrics(reg *metrics.Registry, adm *Admission, acct []tenantAcct, t
 		treg.RegisterFunc("latency_p999", func() uint64 { return a.hist.Quantile(0.999) })
 	}
 	sreg.RegisterFunc("requests", func() uint64 { return total.Count() })
+	sreg.RegisterFunc("writes", func() uint64 { return wtotal.Count() })
 	sreg.RegisterFunc("latency_p50", func() uint64 { return total.Quantile(0.50) })
 	sreg.RegisterFunc("latency_p99", func() uint64 { return total.Quantile(0.99) })
 	sreg.RegisterFunc("latency_p999", func() uint64 { return total.Quantile(0.999) })
+	sreg.RegisterFunc("write_p99", func() uint64 { return wtotal.Quantile(0.99) })
 }

@@ -30,6 +30,10 @@ type traceRec struct {
 	Tenant int    `json:"tenant"`
 	At     uint64 `json:"at"`
 	Key    string `json:"key"`
+	// Op and Value are omitted for lookups, so read-only traces are
+	// byte-identical to the pre-write format (still version 1).
+	Op    string `json:"op,omitempty"`
+	Value uint64 `json:"value,omitempty"`
 }
 
 // WriteTrace records a generated stream as JSONL: header line, then one
@@ -42,7 +46,8 @@ func WriteTrace(w io.Writer, cfg GenConfig, reqs []Request) error {
 	}
 	for i := range reqs {
 		r := &reqs[i]
-		rec := traceRec{Seq: r.Seq, Tenant: r.Tenant, At: r.At, Key: hex.EncodeToString(r.Key)}
+		rec := traceRec{Seq: r.Seq, Tenant: r.Tenant, At: r.At, Key: hex.EncodeToString(r.Key),
+			Op: string(r.Op), Value: r.Value}
 		if err := enc.Encode(rec); err != nil {
 			return err
 		}
@@ -82,7 +87,13 @@ func ReadTrace(r io.Reader) (GenConfig, []Request, error) {
 		if err != nil {
 			return GenConfig{}, nil, fmt.Errorf("serve: trace line %d key: %w", line, err)
 		}
-		reqs = append(reqs, Request{Seq: rec.Seq, Tenant: rec.Tenant, At: rec.At, Key: key})
+		switch Op(rec.Op) {
+		case OpGet, OpPut, OpDel:
+		default:
+			return GenConfig{}, nil, fmt.Errorf("serve: trace line %d: unknown op %q", line, rec.Op)
+		}
+		reqs = append(reqs, Request{Seq: rec.Seq, Tenant: rec.Tenant, At: rec.At, Key: key,
+			Op: Op(rec.Op), Value: rec.Value})
 	}
 	if err := sc.Err(); err != nil {
 		return GenConfig{}, nil, err

@@ -41,6 +41,13 @@ type GenConfig struct {
 	MeanGap uint64 `json:"mean_gap"`
 	// Seed drives every random choice.
 	Seed int64 `json:"seed"`
+	// WriteFraction makes that share of each tenant's requests software
+	// mutations instead of lookups; of those, DeleteFraction are deletes
+	// and the rest are upserts. Both default to 0 (read-only), and a
+	// zero WriteFraction draws nothing from the write RNG, so pre-write
+	// streams and their traces stay byte-identical.
+	WriteFraction  float64 `json:"write_fraction,omitempty"`
+	DeleteFraction float64 `json:"delete_fraction,omitempty"`
 }
 
 // Validate checks the config's invariants.
@@ -56,6 +63,10 @@ func (c GenConfig) Validate() error {
 		return fmt.Errorf("serve: key length %d < 8", c.KeyLen)
 	case c.MeanGap < 1:
 		return fmt.Errorf("serve: zero mean arrival gap")
+	case c.WriteFraction < 0 || c.WriteFraction > 1:
+		return fmt.Errorf("serve: write fraction %v outside [0,1]", c.WriteFraction)
+	case c.DeleteFraction < 0 || c.DeleteFraction > 1:
+		return fmt.Errorf("serve: delete fraction %v outside [0,1]", c.DeleteFraction)
 	}
 	return nil
 }
@@ -72,6 +83,10 @@ type Request struct {
 	At uint64
 	// Key is the probe key (one of the tenant's TenantKeys).
 	Key []byte
+	// Op is the operation kind; the zero value is a lookup.
+	Op Op
+	// Value is the payload of an OpPut request (ignored otherwise).
+	Value uint64
 }
 
 // tenantSeed derives an independent deterministic sub-seed for tenant t.
@@ -172,6 +187,13 @@ func genTenant(cfg GenConfig, t, count int, share float64) []Request {
 	}
 	rng := rand.New(rand.NewSource(tenantSeed(cfg.Seed, t, 0)))
 	pick := workload.NewZipfPicker(cfg.KeysPerTenant, cfg.KeySkew, tenantSeed(cfg.Seed, t, 1))
+	// The write decision stream has its own sub-seeded source, created
+	// only when writes are enabled: a read-only config consumes exactly
+	// the draws it always did, keeping its streams byte-identical.
+	var wrng *rand.Rand
+	if cfg.WriteFraction > 0 {
+		wrng = rand.New(rand.NewSource(tenantSeed(cfg.Seed, t, 2)))
+	}
 	gap := uint64(math.Round(float64(cfg.MeanGap) / share))
 	if gap < 1 {
 		gap = 1
@@ -181,7 +203,16 @@ func genTenant(cfg GenConfig, t, count int, share float64) []Request {
 	for i := range reqs {
 		// Uniform in [1, 2*gap-1]: mean gap, never zero, deterministic.
 		at += 1 + uint64(rng.Int63n(int64(2*gap-1)))
-		reqs[i] = Request{Tenant: t, At: at, Key: TenantKey(cfg, t, pick.Next())}
+		req := Request{Tenant: t, At: at, Key: TenantKey(cfg, t, pick.Next())}
+		if wrng != nil && wrng.Float64() < cfg.WriteFraction {
+			if wrng.Float64() < cfg.DeleteFraction {
+				req.Op = OpDel
+			} else {
+				req.Op = OpPut
+				req.Value = wrng.Uint64() | 1 // never zero: trie-safe
+			}
+		}
+		reqs[i] = req
 	}
 	return reqs
 }

@@ -1,0 +1,206 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"qei/internal/metrics"
+)
+
+// Handle is an opaque in-flight lookup identifier minted by a Target.
+type Handle interface{}
+
+// Outcome is one completed lookup as the issuing core observed it.
+type Outcome struct {
+	Found bool
+	Value uint64
+	// Latency is the lookup's end-to-end cycle count.
+	Latency uint64
+	// Faulted marks a lookup that completed with an architectural
+	// exception (fault injection); its Found/Value carry no meaning and
+	// it is excluded from model verification.
+	Faulted bool
+}
+
+// Target is the mutable table a stream drives: software mutations plus
+// windowed asynchronous lookups. Implementations must retrieve results
+// in admission order (the engine drains its window FIFO).
+type Target interface {
+	Insert(key []byte, value uint64) error
+	Delete(key []byte) (bool, error)
+	QueryAsync(key []byte) (Handle, error)
+	Wait(h Handle) (Outcome, error)
+}
+
+// Report summarizes one stream run. Digest folds every operation's
+// outcome — including lookup latencies — into one value, so two runs
+// are behaviorally identical iff their digests match.
+type Report struct {
+	Ops, Gets, Puts, Dels int
+	// Hits/Misses partition verified lookups; Mismatches counts lookups
+	// (or deletes) whose outcome disagreed with the host model's
+	// admission-time snapshot; Faulted counts lookups that completed
+	// with an architectural exception.
+	Hits, Misses, Mismatches, Faulted uint64
+	// MaxOutstanding is the peak number of lookups in flight — proof
+	// the writers really raced admitted queries.
+	MaxOutstanding int
+	// P50/P99 are lookup latency percentiles in cycles.
+	P50, P99 uint64
+	Digest   uint64
+}
+
+// pending is one admitted lookup awaiting its result, with the model's
+// admission-time expectation.
+type pending struct {
+	h        Handle
+	seq      int
+	expFound bool
+	expVal   uint64
+}
+
+// engine carries one run's verification state.
+type engine struct {
+	t     Target
+	model map[string]uint64
+	queue []pending
+	lats  []uint64
+	rep   Report
+}
+
+// fnv1a folds bytes into the running digest.
+func fnv1a(h uint64, bs ...byte) uint64 {
+	if h == 0 {
+		h = 14695981039346656037
+	}
+	for _, b := range bs {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (e *engine) mix(vs ...uint64) {
+	for _, v := range vs {
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		e.rep.Digest = fnv1a(e.rep.Digest, b[:]...)
+	}
+}
+
+// drainOne retrieves the oldest in-flight lookup and verifies it
+// against the expectation snapshotted at its admission.
+func (e *engine) drainOne() error {
+	p := e.queue[0]
+	e.queue = e.queue[1:]
+	out, err := e.t.Wait(p.h)
+	if err != nil {
+		return fmt.Errorf("stream: op %d wait: %w", p.seq, err)
+	}
+	if out.Faulted {
+		e.rep.Faulted++
+		e.mix(uint64(p.seq), ^uint64(0))
+		return nil
+	}
+	if out.Found {
+		e.rep.Hits++
+	} else {
+		e.rep.Misses++
+	}
+	if out.Found != p.expFound || (out.Found && out.Value != p.expVal) {
+		e.rep.Mismatches++
+	}
+	e.lats = append(e.lats, out.Latency)
+	var f uint64
+	if out.Found {
+		f = 1
+	}
+	e.mix(uint64(p.seq), f, out.Value, out.Latency)
+	return nil
+}
+
+// Run drives the workload against t: mutations apply immediately while
+// up to Cfg.Window lookups stay in flight across them, so retired nodes
+// sit in limbo under live pins. Lookups are verified against a host
+// model snapshotted at admission. With a non-nil registry the run's
+// counters register under stream/ (nil is a free no-op, like all
+// registry wiring).
+func Run(wl *Workload, t Target, reg *metrics.Registry) (*Report, error) {
+	if err := wl.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{t: t, model: make(map[string]uint64, wl.Cfg.InitialKeys)}
+	for r := 0; r < wl.Cfg.InitialKeys; r++ {
+		e.model[string(KeyFor(wl.Cfg, r))] = InitValue(r)
+	}
+	s := reg.Scoped("stream")
+	s.RegisterFunc("ops_total", func() uint64 { return uint64(e.rep.Ops) })
+	s.RegisterFunc("gets", func() uint64 { return uint64(e.rep.Gets) })
+	s.RegisterFunc("puts", func() uint64 { return uint64(e.rep.Puts) })
+	s.RegisterFunc("dels", func() uint64 { return uint64(e.rep.Dels) })
+	s.RegisterFunc("hits", func() uint64 { return e.rep.Hits })
+	s.RegisterFunc("misses", func() uint64 { return e.rep.Misses })
+	s.RegisterFunc("mismatches", func() uint64 { return e.rep.Mismatches })
+	s.RegisterFunc("faulted", func() uint64 { return e.rep.Faulted })
+
+	for seq, op := range wl.Ops {
+		e.rep.Ops++
+		switch op.Kind {
+		case Put:
+			e.rep.Puts++
+			if err := t.Insert(op.Key, op.Value); err != nil {
+				return nil, fmt.Errorf("stream: op %d put: %w", seq, err)
+			}
+			e.model[string(op.Key)] = op.Value
+			e.mix(uint64(seq), uint64(Put), op.Value)
+		case Del:
+			e.rep.Dels++
+			ok, err := t.Delete(op.Key)
+			if err != nil {
+				return nil, fmt.Errorf("stream: op %d del: %w", seq, err)
+			}
+			_, inModel := e.model[string(op.Key)]
+			if ok != inModel {
+				e.rep.Mismatches++
+			}
+			delete(e.model, string(op.Key))
+			var okBit uint64
+			if ok {
+				okBit = 1
+			}
+			e.mix(uint64(seq), uint64(Del), okBit)
+		case Get:
+			e.rep.Gets++
+			if len(e.queue) >= wl.Cfg.Window {
+				if err := e.drainOne(); err != nil {
+					return nil, err
+				}
+			}
+			h, err := t.QueryAsync(op.Key)
+			if err != nil {
+				return nil, fmt.Errorf("stream: op %d get: %w", seq, err)
+			}
+			exp, inModel := e.model[string(op.Key)]
+			e.queue = append(e.queue, pending{h: h, seq: seq, expFound: inModel, expVal: exp})
+			if len(e.queue) > e.rep.MaxOutstanding {
+				e.rep.MaxOutstanding = len(e.queue)
+			}
+		default:
+			return nil, fmt.Errorf("stream: op %d has unknown kind %d", seq, op.Kind)
+		}
+	}
+	for len(e.queue) > 0 {
+		if err := e.drainOne(); err != nil {
+			return nil, err
+		}
+	}
+	if len(e.lats) > 0 {
+		sort.Slice(e.lats, func(a, b int) bool { return e.lats[a] < e.lats[b] })
+		e.rep.P50 = e.lats[len(e.lats)/2]
+		e.rep.P99 = e.lats[len(e.lats)*99/100]
+	}
+	rep := e.rep
+	return &rep, nil
+}

@@ -1,0 +1,195 @@
+// Package stream generates and drives seeded, replayable read-write
+// operation streams against a mutable table: the workload side of the
+// streaming mutation engine. A stream mixes accelerated lookups with
+// software inserts and deletes (configurable write fraction, Zipf key
+// skew), keeps a bounded window of lookups in flight so writers really
+// do race in-flight queries, and verifies every lookup against a host
+// model snapshotted at admission — the epoch protocol's
+// snapshot-at-admission semantics made checkable.
+//
+// A stream is a pure function of its Config: two generations with equal
+// configs are byte-identical, and a recorded trace replays to the same
+// digest as the live run that produced it.
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"qei/internal/workload"
+)
+
+// Kind is one operation's type.
+type Kind uint8
+
+// The three stream operations: accelerated lookup, software insert (or
+// in-place update), software delete.
+const (
+	Get Kind = iota
+	Put
+	Del
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Get:
+		return "get"
+	case Put:
+		return "put"
+	case Del:
+		return "del"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// parseKind is String's inverse, for trace decoding.
+func parseKind(s string) (Kind, error) {
+	switch s {
+	case "get":
+		return Get, nil
+	case "put":
+		return Put, nil
+	case "del":
+		return Del, nil
+	default:
+		return 0, fmt.Errorf("stream: unknown op kind %q", s)
+	}
+}
+
+// Op is one stream operation in issue order.
+type Op struct {
+	// Kind is the operation; Key its probe/update key.
+	Kind Kind
+	Key  []byte
+	// Value is the stored value for Put ops (unused otherwise).
+	Value uint64
+}
+
+// Config describes one operation stream. The stream is a pure function
+// of the config.
+type Config struct {
+	// InitialKeys is the table population bulk-loaded before the stream
+	// starts; ranks 0..InitialKeys-1 form the hot set.
+	InitialKeys int `json:"initial_keys"`
+	// Ops is the total operation count.
+	Ops int `json:"ops"`
+	// KeyLen is the fixed key length in bytes (>= 8: the first eight
+	// encode the key's rank).
+	KeyLen int `json:"key_len"`
+	// WriteFraction is the probability an operation mutates (0 = pure
+	// reads, matching the pre-streaming engine byte for byte).
+	WriteFraction float64 `json:"write_fraction"`
+	// DeleteFraction is the probability a mutation deletes instead of
+	// inserting/updating.
+	DeleteFraction float64 `json:"delete_fraction"`
+	// KeySkew is the Zipf exponent of hot-set key choice (0 = uniform,
+	// 0.99 = the YCSB default).
+	KeySkew float64 `json:"key_skew"`
+	// Window bounds the number of lookups concurrently in flight (the
+	// QST occupancy the stream sustains while writers mutate).
+	Window int `json:"window"`
+	// Seed drives every random choice.
+	Seed int64 `json:"seed"`
+}
+
+// Validate checks the config's invariants.
+func (c Config) Validate() error {
+	switch {
+	case c.InitialKeys < 1:
+		return fmt.Errorf("stream: %d initial keys", c.InitialKeys)
+	case c.Ops < 1:
+		return fmt.Errorf("stream: %d ops", c.Ops)
+	case c.KeyLen < 8:
+		return fmt.Errorf("stream: key length %d < 8", c.KeyLen)
+	case c.WriteFraction < 0 || c.WriteFraction > 1:
+		return fmt.Errorf("stream: write fraction %g outside [0,1]", c.WriteFraction)
+	case c.DeleteFraction < 0 || c.DeleteFraction > 1:
+		return fmt.Errorf("stream: delete fraction %g outside [0,1]", c.DeleteFraction)
+	case c.Window < 1:
+		return fmt.Errorf("stream: window %d < 1", c.Window)
+	}
+	return nil
+}
+
+// KeyFor returns the stream's key of the given rank: the first eight
+// bytes encode the rank big-endian (so fresh inserts land on the right
+// edge of ordered structures and keep splitting it), the tail is a
+// deterministic per-(seed,rank) byte pattern. Keys are unique by
+// construction.
+func KeyFor(cfg Config, rank int) []byte {
+	k := make([]byte, cfg.KeyLen)
+	binary.BigEndian.PutUint64(k[:8], uint64(rank))
+	x := uint64(cfg.Seed)*0x9E3779B97F4A7C15 ^ uint64(rank) | 1
+	for i := 8; i < cfg.KeyLen; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		k[i] = byte(x)
+	}
+	return k
+}
+
+// InitValue returns the value bulk-loaded under rank's key (non-zero,
+// unique per rank).
+func InitValue(rank int) uint64 {
+	return uint64(rank+1) * 0x9E3779B97F4A7C15
+}
+
+// Workload is a generated (or trace-loaded) stream: the config plus the
+// materialized operation list.
+type Workload struct {
+	Cfg Config
+	Ops []Op
+}
+
+// InitialTable materializes the bulk-load population in rank order.
+func (w *Workload) InitialTable() (keys [][]byte, values []uint64) {
+	keys = make([][]byte, w.Cfg.InitialKeys)
+	values = make([]uint64, w.Cfg.InitialKeys)
+	for r := range keys {
+		keys[r] = KeyFor(w.Cfg, r)
+		values[r] = InitValue(r)
+	}
+	return keys, values
+}
+
+// Generate produces the operation stream: lookups and deletes pick
+// Zipf-skewed ranks from the hot set (a quarter of lookups instead
+// target keys inserted by the stream itself, once any exist), inserts
+// alternate between fresh right-edge ranks — growing the structure so
+// splits and rehashes fire — and in-place updates of hot keys.
+func Generate(cfg Config) (*Workload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pick := workload.NewZipfPicker(cfg.InitialKeys, cfg.KeySkew, cfg.Seed^0x5EED)
+	ops := make([]Op, 0, cfg.Ops)
+	fresh := 0
+	for i := 0; i < cfg.Ops; i++ {
+		var op Op
+		switch {
+		case rng.Float64() < cfg.WriteFraction:
+			if rng.Float64() < cfg.DeleteFraction {
+				op = Op{Kind: Del, Key: KeyFor(cfg, pick.Next())}
+				break
+			}
+			rank := pick.Next()
+			if rng.Intn(2) == 0 {
+				rank = cfg.InitialKeys + fresh
+				fresh++
+			}
+			op = Op{Kind: Put, Key: KeyFor(cfg, rank), Value: rng.Uint64()}
+		default:
+			rank := pick.Next()
+			if fresh > 0 && rng.Intn(4) == 0 {
+				rank = cfg.InitialKeys + rng.Intn(fresh)
+			}
+			op = Op{Kind: Get, Key: KeyFor(cfg, rank)}
+		}
+		ops = append(ops, op)
+	}
+	return &Workload{Cfg: cfg, Ops: ops}, nil
+}

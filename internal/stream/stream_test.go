@@ -1,0 +1,200 @@
+package stream
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func testConfig() Config {
+	return Config{
+		InitialKeys:    64,
+		Ops:            300,
+		KeyLen:         16,
+		WriteFraction:  0.4,
+		DeleteFraction: 0.4,
+		KeySkew:        0.99,
+		Window:         4,
+		Seed:           7,
+	}
+}
+
+func TestGenerateDeterministicAndMixed(t *testing.T) {
+	a, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal configs generated different workloads")
+	}
+	var gets, puts, dels, fresh int
+	for _, op := range a.Ops {
+		switch op.Kind {
+		case Get:
+			gets++
+		case Put:
+			puts++
+			if op.Key[7] >= 64 || op.Key[6] != 0 {
+				fresh++
+			}
+		case Del:
+			dels++
+		}
+		if len(op.Key) != 16 {
+			t.Fatalf("key length %d", len(op.Key))
+		}
+	}
+	if gets == 0 || puts == 0 || dels == 0 || fresh == 0 {
+		t.Fatalf("stream not mixed: %d gets %d puts (%d fresh) %d dels", gets, puts, fresh, dels)
+	}
+	c := testConfig()
+	c.Seed = 8
+	d, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Ops, d.Ops) {
+		t.Fatal("different seeds generated identical streams")
+	}
+}
+
+func TestKeyForUniqueAndRanked(t *testing.T) {
+	cfg := testConfig()
+	seen := map[string]bool{}
+	for r := 0; r < 500; r++ {
+		k := KeyFor(cfg, r)
+		if seen[string(k)] {
+			t.Fatalf("rank %d key collides", r)
+		}
+		seen[string(k)] = true
+		if r > 0 && bytes.Compare(KeyFor(cfg, r-1), k) >= 0 {
+			t.Fatal("keys not ordered by rank")
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	wl, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, wl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wl, got) {
+		t.Fatal("trace round trip lost information")
+	}
+}
+
+// fakeTarget is a synchronous map-backed Target whose lookups complete
+// at admission — the engine's windowing and verification logic under
+// test without a simulator.
+type fakeTarget struct {
+	m map[string]uint64
+	// wrongAfter forces a wrong value on every lookup admitted after
+	// the given op count (mismatch-detector teeth); -1 disables.
+	wrongAfter int
+	admitted   int
+}
+
+type fakeHandle Outcome
+
+func (f *fakeTarget) Insert(key []byte, value uint64) error {
+	f.m[string(key)] = value
+	return nil
+}
+
+func (f *fakeTarget) Delete(key []byte) (bool, error) {
+	_, ok := f.m[string(key)]
+	delete(f.m, string(key))
+	return ok, nil
+}
+
+func (f *fakeTarget) QueryAsync(key []byte) (Handle, error) {
+	v, ok := f.m[string(key)]
+	f.admitted++
+	if f.wrongAfter >= 0 && f.admitted > f.wrongAfter {
+		v ^= 0xBAD
+	}
+	return fakeHandle(Outcome{Found: ok, Value: v, Latency: uint64(100 + f.admitted)}), nil
+}
+
+func (f *fakeTarget) Wait(h Handle) (Outcome, error) {
+	return Outcome(h.(fakeHandle)), nil
+}
+
+func newFake(wl *Workload) *fakeTarget {
+	f := &fakeTarget{m: map[string]uint64{}, wrongAfter: -1}
+	keys, vals := wl.InitialTable()
+	for i, k := range keys {
+		f.m[string(k)] = vals[i]
+	}
+	return f
+}
+
+func TestRunVerifiesAgainstModel(t *testing.T) {
+	wl, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(wl, newFake(wl), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != wl.Cfg.Ops || rep.Gets+rep.Puts+rep.Dels != rep.Ops {
+		t.Fatalf("op accounting: %+v", rep)
+	}
+	if rep.Mismatches != 0 {
+		t.Fatalf("%d mismatches against a faithful target", rep.Mismatches)
+	}
+	if rep.Hits == 0 || rep.Misses == 0 {
+		t.Fatalf("stream exercised no miss path: %+v", rep)
+	}
+	if rep.MaxOutstanding != wl.Cfg.Window {
+		t.Fatalf("window never filled: max outstanding %d, want %d", rep.MaxOutstanding, wl.Cfg.Window)
+	}
+	if rep.P99 < rep.P50 || rep.P50 == 0 {
+		t.Fatalf("latency percentiles: %+v", rep)
+	}
+
+	// Same workload, same target: identical digest.
+	rep2, err := Run(wl, newFake(wl), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Digest != rep.Digest {
+		t.Fatal("identical runs produced different digests")
+	}
+}
+
+func TestRunDetectsWrongValues(t *testing.T) {
+	wl, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFake(wl)
+	f.wrongAfter = 10
+	rep, err := Run(wl, f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mismatches == 0 {
+		t.Fatal("corrupted lookups not flagged as mismatches")
+	}
+	clean, err := Run(wl, newFake(wl), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Digest == rep.Digest {
+		t.Fatal("digest blind to corrupted values")
+	}
+}

@@ -1,0 +1,99 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Recorded-trace format: JSON Lines, like the serving layer's traces.
+// The first line is a header carrying the format version and the full
+// Config (so a replay can rebuild the bulk-loaded table the stream
+// mutates); every following line is one operation in issue order, with
+// the op kind first so mixed read-write traces stay greppable:
+//
+//	{"v":1,"stream":{"initial_keys":96,...}}
+//	{"seq":0,"op":"get","key":"000000000000002a41..."}
+//	{"seq":1,"op":"put","key":"...","value":9021352398172}
+//	{"seq":2,"op":"del","key":"..."}
+
+// traceVersion is the current trace-format version.
+const traceVersion = 1
+
+type traceHeader struct {
+	Version int    `json:"v"`
+	Stream  Config `json:"stream"`
+}
+
+type traceRec struct {
+	Seq   int    `json:"seq"`
+	Op    string `json:"op"`
+	Key   string `json:"key"`
+	Value uint64 `json:"value,omitempty"`
+}
+
+// WriteTrace records a workload as JSONL: header line, then one line
+// per operation in issue order.
+func WriteTrace(w io.Writer, wl *Workload) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(traceHeader{Version: traceVersion, Stream: wl.Cfg}); err != nil {
+		return err
+	}
+	for i, op := range wl.Ops {
+		rec := traceRec{Seq: i, Op: op.Kind.String(), Key: hex.EncodeToString(op.Key)}
+		if op.Kind == Put {
+			rec.Value = op.Value
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a recorded JSONL trace back into the workload
+// WriteTrace saved. The returned workload replays byte-identically to
+// the live run it recorded.
+func ReadTrace(r io.Reader) (*Workload, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("stream: empty trace")
+	}
+	var hdr traceHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("stream: trace header: %w", err)
+	}
+	if hdr.Version != traceVersion {
+		return nil, fmt.Errorf("stream: trace version %d, want %d", hdr.Version, traceVersion)
+	}
+	wl := &Workload{Cfg: hdr.Stream}
+	for line := 2; sc.Scan(); line++ {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec traceRec
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("stream: trace line %d: %w", line, err)
+		}
+		kind, err := parseKind(rec.Op)
+		if err != nil {
+			return nil, fmt.Errorf("stream: trace line %d: %w", line, err)
+		}
+		key, err := hex.DecodeString(rec.Key)
+		if err != nil {
+			return nil, fmt.Errorf("stream: trace line %d key: %w", line, err)
+		}
+		wl.Ops = append(wl.Ops, Op{Kind: kind, Key: key, Value: rec.Value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return wl, nil
+}

@@ -152,6 +152,7 @@ func Experiments() []Experiment {
 		{Name: "noc", Title: "NoC bandwidth utilization", Run: NoCUtilization},
 		{Name: "serving", Title: "multi-tenant serving percentiles per backend", Run: ServingPercentiles},
 		{Name: "dse", Title: "design-space Pareto frontier", Run: DSEFrontier},
+		{Name: "streaming", Title: "epoch-consistent read-write streams", Run: StreamingConsistency},
 		// bench must stay last: earlier entries are indexed by position in
 		// tests and scripts.
 		{Name: "bench", Title: "machine-readable benchmark matrix", Run: BenchMatrix},

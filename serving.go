@@ -28,19 +28,60 @@ func ServingBackends() []string { return []string{"qei", "baseline"} }
 func NewServingBackend(name string, sys *System) (serve.Backend, error) {
 	switch name {
 	case "qei":
-		return &qeiServeBackend{sys: sys}, nil
+		return &qeiServeBackend{servingMutator{sys: sys}}, nil
 	case "baseline":
-		return &baselineServeBackend{sys: sys}, nil
+		return &baselineServeBackend{servingMutator: servingMutator{sys: sys}}, nil
 	default:
 		return nil, fmt.Errorf("qei: unknown serving backend %q (have %v)", name, ServingBackends())
 	}
+}
+
+// servingTable unwraps a serving-layer table handle for the query path:
+// mutable tables (built when the stream writes) expose their embedded
+// immutable view, which tracks in-place structural maintenance.
+func servingTable(t serve.Table) Table {
+	if mt, ok := t.(*MutableTable); ok {
+		return mt.Table
+	}
+	return t.(Table)
+}
+
+// servingMutator implements serve.Mutator for both adapters: mutations
+// are software routines on the shared machine (QEI accelerates queries
+// only), so the write path is backend-independent.
+type servingMutator struct {
+	sys *System
+}
+
+func (m *servingMutator) BuildMutable(kind string, keys [][]byte, values []uint64) (serve.Table, error) {
+	k, err := ParseStructKind(kind)
+	if err != nil {
+		return nil, err
+	}
+	return m.sys.BuildMutable(k, keys, values)
+}
+
+func (m *servingMutator) Insert(t serve.Table, key []byte, value uint64) error {
+	mt, ok := t.(*MutableTable)
+	if !ok {
+		return fmt.Errorf("qei: serving write against an immutable table")
+	}
+	return mt.Insert(key, value)
+}
+
+func (m *servingMutator) Delete(t serve.Table, key []byte) (bool, error) {
+	mt, ok := t.(*MutableTable)
+	if !ok {
+		return false, fmt.Errorf("qei: serving write against an immutable table")
+	}
+	return mt.Delete(key)
 }
 
 // qeiServeBackend adapts the accelerator path: async issues occupy QST
 // entries and overlap; ErrQSTFull maps to the serve layer's
 // ErrBackendFull so the server drains and reissues.
 type qeiServeBackend struct {
-	sys *System
+	servingMutator
 }
 
 func (b *qeiServeBackend) Name() string { return "qei" }
@@ -54,7 +95,7 @@ func (b *qeiServeBackend) Build(kind string, keys [][]byte, values []uint64) (se
 }
 
 func (b *qeiServeBackend) Query(t serve.Table, key []byte) (serve.Result, error) {
-	res, err := b.sys.Query(t.(Table), key)
+	res, err := b.sys.Query(servingTable(t), key)
 	if err != nil {
 		return serve.Result{}, err
 	}
@@ -62,7 +103,7 @@ func (b *qeiServeBackend) Query(t serve.Table, key []byte) (serve.Result, error)
 }
 
 func (b *qeiServeBackend) QueryAsync(t serve.Table, key []byte) (serve.Handle, error) {
-	h, err := b.sys.QueryAsync(t.(Table), key)
+	h, err := b.sys.QueryAsync(servingTable(t), key)
 	if errors.Is(err, ErrQSTFull) {
 		return nil, fmt.Errorf("%w: %w", serve.ErrBackendFull, err)
 	}
@@ -119,7 +160,7 @@ func (b *qeiServeBackend) Stats() serve.Stats {
 // as end-to-end latency exactly as a single-threaded software server
 // would exhibit it.
 type baselineServeBackend struct {
-	sys        *System
+	servingMutator
 	queries    uint64
 	exceptions uint64
 }
@@ -140,7 +181,7 @@ func (b *baselineServeBackend) Build(kind string, keys [][]byte, values []uint64
 }
 
 func (b *baselineServeBackend) Query(t serve.Table, key []byte) (serve.Result, error) {
-	res, err := b.sys.QuerySoftware(t.(Table), key)
+	res, err := b.sys.QuerySoftware(servingTable(t), key)
 	if errors.Is(err, ErrUnknownKind) {
 		return serve.Result{}, err
 	}
@@ -201,6 +242,14 @@ type ServingConfig struct {
 	KeySkew       float64
 	MeanGap       uint64
 	Seed          int64
+	// WriteFraction and DeleteFraction mix software mutations into the
+	// stream (serve.GenConfig semantics); 0 keeps it read-only and
+	// byte-identical to pre-write streams.
+	WriteFraction  float64
+	DeleteFraction float64
+	// WriteCost is the simulated-cycle charge per mutation (0 uses the
+	// serve-layer default).
+	WriteCost uint64
 	// SLO is the per-request latency objective in cycles (0 = off).
 	SLO uint64
 	// SlotsPerTenant bounds each tenant's in-flight QST slots (<= 0
@@ -245,15 +294,17 @@ func DefaultServingConfig() ServingConfig {
 // GenConfig renders the stream-generation part of the config.
 func (c ServingConfig) GenConfig() serve.GenConfig {
 	return serve.GenConfig{
-		Tenants:       c.Tenants,
-		Requests:      c.Requests,
-		KeysPerTenant: c.KeysPerTenant,
-		KeyLen:        c.KeyLen,
-		Kind:          c.Kind.String(),
-		TenantSkew:    c.TenantSkew,
-		KeySkew:       c.KeySkew,
-		MeanGap:       c.MeanGap,
-		Seed:          c.Seed,
+		Tenants:        c.Tenants,
+		Requests:       c.Requests,
+		KeysPerTenant:  c.KeysPerTenant,
+		KeyLen:         c.KeyLen,
+		Kind:           c.Kind.String(),
+		TenantSkew:     c.TenantSkew,
+		KeySkew:        c.KeySkew,
+		MeanGap:        c.MeanGap,
+		Seed:           c.Seed,
+		WriteFraction:  c.WriteFraction,
+		DeleteFraction: c.DeleteFraction,
 	}
 }
 
@@ -292,6 +343,7 @@ func ReplayServing(cfg ServingConfig, gen serve.GenConfig, reqs []serve.Request)
 		SLO:            cfg.SLO,
 		Metrics:        sys.mreg,
 		KeepResults:    cfg.KeepResults,
+		WriteCost:      cfg.WriteCost,
 	}, reqs)
 }
 

@@ -159,6 +159,76 @@ func TestServingBackendsAgreeOnValues(t *testing.T) {
 	}
 }
 
+// TestServingMixedReadWrite drives a 20%-write stream through both real
+// backends: tenant tables build mutable, software mutations interleave
+// with in-flight accelerated lookups, and the two backends still agree
+// on every request's architectural outcome. The mixed run replays
+// byte-identically from its recorded trace.
+func TestServingMixedReadWrite(t *testing.T) {
+	cfg := DefaultServingConfig()
+	cfg.Requests = 160
+	cfg.Tenants = 3
+	cfg.WriteFraction = 0.2
+	cfg.DeleteFraction = 0.3
+	cfg.KeepResults = true
+
+	reports := map[string]*serve.Report{}
+	for _, be := range ServingBackends() {
+		c := cfg
+		c.Backend = be
+		rep, err := RunServing(c)
+		if err != nil {
+			t.Fatalf("%s: %v", be, err)
+		}
+		if rep.Total.Writes == 0 {
+			t.Fatalf("%s: mixed stream retired no writes", be)
+		}
+		if rep.Total.Requests+rep.Total.Writes != uint64(cfg.Requests) {
+			t.Fatalf("%s: reads %d + writes %d != %d", be, rep.Total.Requests, rep.Total.Writes, cfg.Requests)
+		}
+		if rep.Total.WriteP99 == 0 {
+			t.Fatalf("%s: write latency never observed", be)
+		}
+		reports[be] = rep
+	}
+	q, b := reports["qei"], reports["baseline"]
+	for i := range q.Results {
+		qr, br := q.Results[i], b.Results[i]
+		if qr.Found != br.Found || qr.Value != br.Value {
+			t.Fatalf("request %d: qei (found=%v value=%d) vs baseline (found=%v value=%d)",
+				i, qr.Found, qr.Value, br.Found, br.Value)
+		}
+	}
+
+	// Trace round trip: the op annotations survive and the replay is
+	// byte-identical to the live qei run.
+	gen := cfg.GenConfig()
+	reqs, err := serve.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := serve.WriteTrace(&buf, gen, reqs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"op":"put"`)) || !bytes.Contains(buf.Bytes(), []byte(`"op":"del"`)) {
+		t.Fatal("trace carries no op annotations")
+	}
+	rgen, rreqs, err := serve.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := ReplayServing(cfg, rgen, rreqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lj, _ := json.Marshal(reports["qei"])
+	rj, _ := json.Marshal(replayed)
+	if !bytes.Equal(lj, rj) {
+		t.Fatalf("mixed-stream replay differs from live run:\nlive   %s\nreplay %s", lj, rj)
+	}
+}
+
 // TestNewServingBackendUnknown pins the error for unregistered names.
 func TestNewServingBackendUnknown(t *testing.T) {
 	if _, err := NewServingBackend("gpu", NewSystem(CoreIntegrated)); err == nil {

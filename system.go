@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"qei/internal/cfa"
+	"qei/internal/epoch"
 	"qei/internal/faultinject"
 	"qei/internal/hwdesc"
 	"qei/internal/isa"
@@ -127,6 +128,13 @@ type System struct {
 	// disables software fallback. fallbacks counts queries served by it.
 	fallback  *FallbackPolicy
 	fallbacks uint64
+	// gc is the epoch-based reclamation domain coordinating writers with
+	// in-flight queries; created lazily by the first mutable build (see
+	// ensureGC), nil for read-only systems so no query path pays for it.
+	gc *epoch.GC
+	// pinnedTags maps in-flight async query tags to the epoch they
+	// pinned at admission; Wait/Poll unpin on completion or abort.
+	pinnedTags map[uint64]uint64
 }
 
 // Option configures a System at construction.
@@ -428,6 +436,11 @@ func (s *System) QueryAt(t Table, keyAddr uint64, keyLen int) (Result, error) {
 // issueAccel runs one blocking accelerator execution of a query,
 // advancing the issue clock to its completion.
 func (s *System) issueAccel(t Table, keyAddr uint64, keyLen int) (Result, error) {
+	// A blocking query's in-flight window is the call itself: pin the
+	// epoch at admission, release it once the result is architectural.
+	if pinned, ok := s.pinQuery(); ok {
+		defer s.gc.Unpin(pinned)
+	}
 	tag := s.nextTag()
 	desc := &isa.QueryDesc{
 		HeaderAddr: t.header,
@@ -489,9 +502,18 @@ func (s *System) QueryAsync(t Table, key []byte) (AsyncHandle, error) {
 	if t.Kind == KindTrie {
 		desc.KeyLen = uint32(len(key))
 	}
+	pinned, havePin := s.pinQuery()
 	accepted, err := s.accel.TryIssueNonBlocking(desc, s.now)
 	if err != nil {
+		if havePin {
+			s.gc.Unpin(pinned)
+		}
 		return AsyncHandle{}, err
+	}
+	if havePin {
+		// The pin lives in the QST with the query; Wait/Poll release it
+		// when the completion (or abort) is observed.
+		s.trackPin(tag, pinned)
 	}
 	s.now = accepted
 	return AsyncHandle{tag: tag, resultAddr: resAddr, accepted: accepted}, nil
@@ -508,6 +530,7 @@ func (s *System) Wait(h AsyncHandle) (Result, error) {
 		return Result{}, ErrUnknownHandle
 	}
 	if r.Aborted {
+		s.unpinTag(h.tag)
 		return Result{}, fmt.Errorf("qei: query %d: %w", h.tag, ErrAborted)
 	}
 	if r.Done > s.now {
@@ -521,6 +544,7 @@ func (s *System) Wait(h AsyncHandle) (Result, error) {
 	if flag == 0 {
 		return Result{}, ErrResultPending
 	}
+	s.unpinTag(h.tag)
 	return Result{
 		Found:   r.Found,
 		Value:   r.Value,
@@ -540,11 +564,13 @@ func (s *System) Poll(h AsyncHandle) (Result, error) {
 		return Result{}, ErrUnknownHandle
 	}
 	if r.Aborted {
+		s.unpinTag(h.tag)
 		return Result{}, fmt.Errorf("qei: query %d: %w", h.tag, ErrAborted)
 	}
 	if r.Done > s.now {
 		return Result{}, ErrResultPending
 	}
+	s.unpinTag(h.tag)
 	return Result{
 		Found:   r.Found,
 		Value:   r.Value,
@@ -650,4 +676,64 @@ func (s *System) Stats() Stats {
 func (s *System) nextTag() uint64 {
 	s.tag++
 	return s.tag
+}
+
+// ensureGC lazily creates the system's epoch-based reclamation domain
+// (internal/epoch). The first mutable build installs it; from then on
+// every query pins the current epoch for its in-flight window, writers
+// retire freed nodes into the epoch's limbo list, and memory is only
+// reused once the QST has drained past the retiring epoch. Read-only
+// systems never call this and keep every hook nil.
+func (s *System) ensureGC() *epoch.GC {
+	if s.gc != nil {
+		return s.gc
+	}
+	s.gc = epoch.New(s.m.AS)
+	s.pinnedTags = make(map[uint64]uint64)
+	// Reclamation counters live beside the other component metrics
+	// (Scoped/RegisterFunc are nil-safe when metrics are off).
+	e := s.mreg.Scoped("epoch")
+	gc := s.gc
+	e.RegisterFunc("current", func() uint64 { return gc.Epoch() })
+	e.RegisterFunc("retired", func() uint64 { return gc.Stats().Retired })
+	e.RegisterFunc("reclaimed", func() uint64 { return gc.Stats().Reclaimed })
+	e.RegisterFunc("reused", func() uint64 { return gc.Stats().Reused })
+	e.RegisterFunc("pins_outstanding", func() uint64 { return gc.Stats().PinsOutstanding })
+	e.RegisterFunc("read_after_retire", func() uint64 { return gc.Violations() })
+	return s.gc
+}
+
+// EpochStats snapshots the epoch GC's reclamation counters. It returns
+// a zero Stats for a system that never built a mutable table.
+func (s *System) EpochStats() epoch.Stats {
+	if s.gc == nil {
+		return epoch.Stats{}
+	}
+	return s.gc.Stats()
+}
+
+// pinQuery pins the current epoch on behalf of a query being admitted;
+// it is a no-op (returning false) without an epoch domain.
+func (s *System) pinQuery() (uint64, bool) {
+	if s.gc == nil {
+		return 0, false
+	}
+	return s.gc.Pin(), true
+}
+
+// trackPin records an admitted async query's pinned epoch under its tag.
+func (s *System) trackPin(tag, pinned uint64) {
+	s.pinnedTags[tag] = pinned
+}
+
+// unpinTag releases the epoch pinned by an async query, once, when its
+// completion (or abort) is observed through Wait or Poll.
+func (s *System) unpinTag(tag uint64) {
+	if s.gc == nil {
+		return
+	}
+	if e, ok := s.pinnedTags[tag]; ok {
+		delete(s.pinnedTags, tag)
+		s.gc.Unpin(e)
+	}
 }

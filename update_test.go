@@ -2,6 +2,7 @@ package qei
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -67,8 +68,15 @@ func TestMutableSkipListAndBST(t *testing.T) {
 			t.Fatalf("skiplist key %d: %+v", i, res)
 		}
 	}
-	if _, err := sl.Delete(keys[0]); err == nil {
-		t.Fatal("skiplist delete should be unsupported")
+	// Deletion is software too; the accelerator observes the unlink.
+	for i := 0; i < 10; i++ {
+		ok, err := sl.Delete(keys[i])
+		if err != nil || !ok {
+			t.Fatalf("skiplist delete %d: %v %v", i, ok, err)
+		}
+		if res, _ := sl.Query(keys[i]); res.Found {
+			t.Fatalf("deleted skiplist key %d still visible", i)
+		}
 	}
 
 	bkeys, bvals := testKeys(80, 8, 22)
@@ -88,6 +96,15 @@ func TestMutableSkipListAndBST(t *testing.T) {
 		}
 		if !res.Found || res.Value != bvals[i] {
 			t.Fatalf("bst key %d: %+v", i, res)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		ok, err := bst.Delete(bkeys[i])
+		if err != nil || !ok {
+			t.Fatalf("bst delete %d: %v %v", i, ok, err)
+		}
+		if res, _ := bst.Query(bkeys[i]); res.Found {
+			t.Fatalf("deleted bst key %d still visible", i)
 		}
 	}
 }
@@ -128,6 +145,146 @@ func TestMutableKeyValidation(t *testing.T) {
 	}
 	if err := tb.Insert(bytes.Repeat([]byte{1}, 7), 1); err == nil {
 		t.Fatal("wrong-length key accepted")
+	}
+}
+
+func TestMutableBTree(t *testing.T) {
+	sys := NewSystem(CoreIntegrated)
+	keys, vals := testKeys(120, 16, 26)
+	tb, err := sys.BuildMutableBTree(keys[:40], vals[:40])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 40; i < 120; i++ {
+		if err := tb.Insert(keys[i], vals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 120; i++ {
+		res, err := tb.Query(keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || res.Value != vals[i] {
+			t.Fatalf("btree key %d: %+v", i, res)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		ok, err := tb.Delete(keys[i])
+		if err != nil || !ok {
+			t.Fatalf("btree delete %d: %v %v", i, ok, err)
+		}
+		if res, _ := tb.Query(keys[i]); res.Found {
+			t.Fatalf("deleted btree key %d still visible", i)
+		}
+	}
+	st := tb.MutStats()
+	if st.Splits == 0 || st.Merges == 0 {
+		t.Fatalf("80 inserts + 100 deletes exercised no rebalances: %+v", st)
+	}
+	if st.RetiredNodes == 0 {
+		t.Fatal("merges retired no nodes")
+	}
+}
+
+func TestBuildMutableGenericAndUnsupported(t *testing.T) {
+	sys := NewSystem(CoreIntegrated)
+	keys, vals := testKeys(50, 16, 27)
+	for _, kind := range []StructKind{KindCuckoo, KindSkipList, KindBST, KindLinkedList, KindBTree} {
+		tb, err := sys.BuildMutable(kind, keys, vals)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if res, err := tb.Query(keys[0]); err != nil || !res.Found {
+			t.Fatalf("%s: built table not queryable: %+v %v", kind, res, err)
+		}
+	}
+	if _, err := sys.BuildMutable(KindHashTable, keys, vals); !errors.Is(err, ErrUnsupportedOp) {
+		t.Fatalf("hash table mutable build: %v, want ErrUnsupportedOp", err)
+	}
+	if _, err := sys.BuildMutable(KindTrie, keys, vals); !errors.Is(err, ErrUnsupportedOp) {
+		t.Fatalf("trie mutable build: %v, want ErrUnsupportedOp", err)
+	}
+}
+
+func TestCuckooOnlineRehash(t *testing.T) {
+	// Growing a cuckoo table past its load ceiling must trigger an
+	// online rehash that retires the old bucket array and keeps every
+	// key reachable by the accelerator.
+	sys := NewSystem(CoreIntegrated)
+	keys, vals := testKeys(400, 16, 28)
+	tb, err := sys.BuildMutableCuckoo(keys[:50], vals[:50])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The build allocates one bucket per key (512 slots here), so lower
+	// the ceiling to force the online rehash at test scale.
+	tb.SetMaxLoadFactor(0.5)
+	for i := 50; i < 400; i++ {
+		if err := tb.Insert(keys[i], vals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tb.MutStats()
+	if st.Rehashes == 0 {
+		t.Fatal("8x growth caused no rehash")
+	}
+	if st.RetiredNodes == 0 {
+		t.Fatal("rehash retired no bucket array")
+	}
+	for i := 0; i < 400; i += 13 {
+		res, err := tb.Query(keys[i])
+		if err != nil || !res.Found || res.Value != vals[i] {
+			t.Fatalf("post-rehash key %d: %+v %v", i, res, err)
+		}
+	}
+	es := sys.EpochStats()
+	if es.Retired == 0 || es.Epoch == 0 {
+		t.Fatalf("epoch GC saw no activity: %+v", es)
+	}
+}
+
+func TestAsyncPinsHoldReclamation(t *testing.T) {
+	// An async query pins its admission epoch: memory retired while it
+	// is in flight must not be reclaimed until the query is drained.
+	sys := NewSystem(CoreIntegrated)
+	keys, vals := testKeys(100, 32, 29)
+	tb, err := sys.BuildMutableSkipList(keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.QueryAsync(tb.Table, keys[50])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if ok, err := tb.Delete(keys[i]); err != nil || !ok {
+			t.Fatalf("delete %d: %v %v", i, ok, err)
+		}
+	}
+	es := sys.EpochStats()
+	if es.Retired != 20 {
+		t.Fatalf("retired %d nodes, want 20", es.Retired)
+	}
+	if es.Reclaimed != 0 {
+		t.Fatalf("reclaimed %d extents under an in-flight query", es.Reclaimed)
+	}
+	if res, err := sys.Wait(h); err != nil || !res.Found || res.Value != vals[50] {
+		t.Fatalf("pinned query result: %+v %v", res, err)
+	}
+	// The pin is gone; the next mutation's epoch bump frees the limbo.
+	if ok, err := tb.Delete(keys[20]); err != nil || !ok {
+		t.Fatal("post-wait delete failed")
+	}
+	es = sys.EpochStats()
+	if es.Reclaimed == 0 {
+		t.Fatalf("limbo not reclaimed after drain: %+v", es)
+	}
+	if es.PinsOutstanding != 0 {
+		t.Fatalf("%d pins leaked", es.PinsOutstanding)
+	}
+	if v := sys.EpochStats().Violations; v != 0 {
+		t.Fatalf("%d read-after-retire violations", v)
 	}
 }
 
