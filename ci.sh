@@ -86,6 +86,36 @@ if [ -z "$live_digest" ] || [ "$live_digest" != "$replay_digest" ]; then
 	exit 1
 fi
 
+# Resilience smoke: a chaos schedule plus a tight SLO through the
+# resilient serving path must complete (exit 0 — qeiserve fails on any
+# read-after-retire epoch violation), degrade at least one request to
+# the software safety net, and replay its recorded trace byte-
+# identically under the same fault schedule. "failed_over" is an
+# omitempty field, so its mere presence in the JSON means >= 1.
+res_trace=$(mktemp)
+res_flags="-resilient -faults 9:spurious=0.3,flip=0.03,shootdown=0.05 -writes 0.1 -slo 4000 -tenants 3 -requests 300 -keys 64"
+res_live=$(go run ./cmd/qeiserve $res_flags -record "$res_trace" -json)
+res_replay=$(go run ./cmd/qeiserve $res_flags -replay "$res_trace" -json)
+rm -f "$res_trace"
+case "$res_live" in
+*'"failed_over"'*) ;;
+*)
+	echo "resilience-smoke: no failover under chaos" >&2
+	exit 1
+	;;
+esac
+case "$res_live" in
+*'"faults_injected"'*) ;;
+*)
+	echo "resilience-smoke: chaos schedule injected nothing" >&2
+	exit 1
+	;;
+esac
+if [ "$res_live" != "$res_replay" ]; then
+	echo "resilience-smoke: chaos replay diverged from live run" >&2
+	exit 1
+fi
+
 # DSE smoke: a tiny 2x2 design-space sweep must produce a non-empty
 # Pareto frontier, and the serial sweep must be byte-identical to the
 # parallel one (the determinism contract of internal/dse).

@@ -10,6 +10,8 @@
 //	         [-keys N] [-keylen N] [-kind cuckoo|bst|...] [-zipf S]
 //	         [-keyzipf S] [-gap CYCLES] [-slo CYCLES] [-slots N]
 //	         [-writes F] [-delfrac F] [-writecost CYCLES]
+//	         [-faults SPEC] [-resilient] [-deadline CYCLES] [-retries N]
+//	         [-budget CYCLES] [-timeline FILE]
 //	         [-seed N] [-scheme core|cha-tlb|...] [-machine preset|file.json]
 //	         [-genparallel N] [-record FILE | -replay FILE] [-json]
 //	qeiserve -stream [-kind btree] [-writes 0.3] [-requests N] [-keys N]
@@ -29,6 +31,19 @@
 // tables build updatable, mutations apply between in-flight accelerated
 // lookups under epoch-based reclamation, and per-tenant write latency is
 // reported alongside the read percentiles.
+//
+// -faults arms the replayable chaos schedule ("seed:kind=rate,...", the
+// qeisim format) on the serving machine; -budget adds the per-query
+// cycle watchdog. Without -resilient, faults ride in each report's
+// per-tenant fault counts. With -resilient, the serving resilience
+// layer is on: requests past -deadline cycles (default 4x the SLO) are
+// shed, faulting queries retry up to -retries times with backoff and
+// then fail over to the software walker, and a circuit breaker routes
+// around the accelerator while its fault rate is high. A greppable
+// "resilience ..." summary line follows each text report, and the run
+// exits non-zero on any read-after-retire epoch violation. -timeline
+// writes the unified cycle-stamped Chrome trace (including the serving
+// track's shed/failover/breaker events) after each run.
 //
 // -stream switches to the single-table streaming consistency harness
 // (internal/stream): one mutable structure under a seeded mixed
@@ -95,6 +110,12 @@ func main() {
 	writesFlag := flag.Float64("writes", 0, "fraction of requests that are software mutations (0 = read-only)")
 	delFracFlag := flag.Float64("delfrac", 0.4, "fraction of mutations that are deletes (rest are upserts)")
 	writeCostFlag := flag.Uint64("writecost", 0, "simulated cycles charged per mutation; 0 = default")
+	faultsFlag := flag.String("faults", "", `chaos schedule "seed:kind=rate,..." injected on the serving machine; empty = clean`)
+	resilientFlag := flag.Bool("resilient", false, "enable deadlines/shedding, retry, software failover, and the circuit breaker")
+	deadlineFlag := flag.Uint64("deadline", 0, "per-request completion budget in cycles before shedding; 0 = 4x the SLO")
+	retriesFlag := flag.Int("retries", 0, "primary-backend retries before failover; 0 = default, negative = none")
+	budgetFlag := flag.Uint64("budget", 0, "per-query cycle-budget watchdog; 0 = off")
+	timelineFlag := flag.String("timeline", "", "write the unified Chrome trace-event timeline to this file")
 	streamFlag := flag.Bool("stream", false, "run the streaming consistency harness instead of the serving frontend")
 	seedFlag := flag.Int64("seed", def.Seed, "stream and machine seed")
 	schemeFlag := flag.String("scheme", "core", "integration scheme: core, cha-tlb, cha-notlb, device-direct, device-indirect")
@@ -130,6 +151,18 @@ func main() {
 		SLO:            *sloFlag,
 		SlotsPerTenant: *slotsFlag,
 		GenWorkers:     *genParFlag,
+		Resilient:      *resilientFlag,
+		Deadline:       *deadlineFlag,
+		MaxRetries:     *retriesFlag,
+		QueryBudget:    *budgetFlag,
+		Timeline:       *timelineFlag,
+	}
+	if *faultsFlag != "" {
+		spec, err := qei.ParseFaultSpec(*faultsFlag)
+		if err != nil {
+			fail("-faults: %v", err)
+		}
+		cfg.Faults = &spec
 	}
 	if *machineFlag != "" {
 		spec, err := qei.LoadMachineSpec(*machineFlag)
@@ -208,11 +241,21 @@ func main() {
 		out.Reports = append(out.Reports, rep)
 	}
 
+	// Read-after-retire is a consistency-contract breach, never "degraded
+	// but correct" — the run fails loudly whatever the output mode.
+	var violations uint64
+	for _, rep := range out.Reports {
+		violations += rep.EpochViolations
+	}
+
 	if *jsonFlag {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
 			fail("%v", err)
+		}
+		if violations > 0 {
+			fail("%d read-after-retire epoch violations", violations)
 		}
 		return
 	}
@@ -241,6 +284,20 @@ func main() {
 				fmt.Printf("%8s %9d %9d %9d\n", tenant, ts.Writes, ts.WriteP50, ts.WriteP99)
 			}
 		}
+		if *resilientFlag || cfg.Faults != nil {
+			state := "off"
+			var trips uint64
+			if rep.Breaker != nil {
+				state = rep.Breaker.State
+				trips = rep.Breaker.Trips
+			}
+			fmt.Printf("resilience shed %d retries %d failover %d breaker_trips %d breaker_state %s faults_injected %d epoch_violations %d\n",
+				rep.Total.Shed, rep.Total.Retries, rep.Total.FailedOver,
+				trips, state, rep.FaultsInjected, rep.EpochViolations)
+		}
 		fmt.Println()
+	}
+	if violations > 0 {
+		fail("%d read-after-retire epoch violations", violations)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"qei/internal/dstruct"
 	"qei/internal/hwdesc"
 	"qei/internal/qei"
+	"qei/internal/serve"
 )
 
 // Sentinel errors of the query lifecycle. Callers branch with
@@ -46,6 +47,13 @@ var (
 	// bucket array (pathological key sets); it wraps
 	// dstruct.ErrTableFull so internal callers agree.
 	ErrTableFull = dstruct.ErrTableFull
+	// ErrAdmissionStall is returned (wrapped) by RunServing and
+	// ReplayServing when the serving admission controller wedges: a
+	// tenant is over its in-flight bound — or the backend reports
+	// itself full — while nothing is in flight to drain. That is never
+	// a load condition (load waits, or sheds under a resilience
+	// deadline); it means the backend's capacity accounting is broken.
+	ErrAdmissionStall = serve.ErrAdmissionStall
 	// ErrUnknownKind is returned by the generic Build for a StructKind
 	// it has no builder for (KindInvalid, KindCustom, undefined values),
 	// and by QuerySoftware for a kind without a software walker.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"qei/internal/metrics"
+	"qei/internal/trace"
 )
 
 // Config configures one serving run on top of a generated (or replayed)
@@ -25,6 +26,10 @@ type Config struct {
 	// (serve/tenant<N>/requests, .../slo_violations, .../p99, ...)
 	// alongside the simulator's component metrics.
 	Metrics *metrics.Registry
+	// Trace, when non-nil, receives serving-layer events on the serve
+	// track: breaker-degraded spans, per-request failover spans, and
+	// shed points, cycle-aligned with the machine's component tracks.
+	Trace *trace.Tracer
 	// KeepResults retains every request's Result in Report.Results
 	// (indexed by Request.Seq) — the hook the backend-equivalence tests
 	// use. Off for large runs.
@@ -33,6 +38,11 @@ type Config struct {
 	// (mutations are host routines; QEI accelerates queries only). 0
 	// uses defaultWriteCost.
 	WriteCost uint64
+	// Resilience enables deadlines/shedding, bounded retry, failover,
+	// and the circuit breaker. nil keeps the legacy behavior: faults
+	// retire with their error, admission waits are unbounded, and the
+	// report carries none of the resilience fields.
+	Resilience *Resilience
 }
 
 // defaultWriteCost approximates a software insert/delete's execution
@@ -67,6 +77,15 @@ type TenantStats struct {
 	Writes   uint64 `json:"writes,omitempty"`
 	WriteP50 uint64 `json:"write_p50,omitempty"`
 	WriteP99 uint64 `json:"write_p99,omitempty"`
+	// Resilience counters; zero (and omitted from JSON) unless
+	// Config.Resilience was set and the run actually shed, retried, or
+	// degraded. Shed requests are excluded from Requests but their
+	// admission wait still lands in the latency percentiles above;
+	// failed-over requests are counted in Requests with their full
+	// degraded latency.
+	Shed       uint64 `json:"shed,omitempty"`
+	Retries    uint64 `json:"retries,omitempty"`
+	FailedOver uint64 `json:"failed_over,omitempty"`
 }
 
 // Report is the outcome of one serving run: per-tenant percentile rows,
@@ -83,6 +102,14 @@ type Report struct {
 	Exceptions     uint64        `json:"exceptions"`
 	Tenants        []TenantStats `json:"tenants"`
 	Total          TenantStats   `json:"total"`
+	// Breaker summarizes the primary-path circuit breaker; nil when the
+	// resilience layer (or its breaker) is off.
+	Breaker *BreakerReport `json:"breaker,omitempty"`
+	// FaultsInjected and EpochViolations are stamped by the qei layer
+	// (RunServing/ReplayServing) when fault injection or epoch
+	// reclamation are armed on the machine; zero otherwise.
+	FaultsInjected  uint64 `json:"faults_injected,omitempty"`
+	EpochViolations uint64 `json:"epoch_violations,omitempty"`
 	// Results holds per-request results by Seq when Config.KeepResults
 	// was set; excluded from JSON output.
 	Results []Result `json:"-"`
@@ -91,30 +118,72 @@ type Report struct {
 // tenantAcct is the per-tenant accounting the server keeps while a run
 // is in flight.
 type tenantAcct struct {
-	hist     LatencyHist
-	whist    LatencyHist
-	requests uint64
-	writes   uint64
-	found    uint64
-	faults   uint64
-	sloViol  uint64
+	hist       LatencyHist
+	whist      LatencyHist
+	requests   uint64
+	writes     uint64
+	found      uint64
+	faults     uint64
+	sloViol    uint64
+	shed       uint64
+	retries    uint64
+	failedOver uint64
 }
 
 // inflight is one issued-but-unretired request.
 type inflight struct {
-	tenant int
-	seq    int
-	at     uint64
-	h      Handle
+	tenant  int
+	seq     int
+	at      uint64
+	key     []byte
+	attempt int // primary issues so far, beyond the first
+	h       Handle
+}
+
+// server is the in-flight state of one serving run: the backend, the
+// per-tenant tables and accounting, the admission controller, the
+// in-flight queue, and (when Config.Resilience is set) the resilience
+// machinery. One run, one server, one goroutine.
+type server struct {
+	b   Backend
+	mut Mutator
+	cfg Config
+	res *Resilience
+	brk *Breaker
+
+	tables []Table
+	adm    *Admission
+	acct   []tenantAcct
+	total  LatencyHist
+	wtotal LatencyHist
+	queue  []inflight
+	rep    *Report
+
+	// degradedSince is the cycle the breaker last left Closed, for the
+	// breaker-degraded trace span; nil while Closed.
+	degradedSince *uint64
 }
 
 // Run drives the request stream through the backend: tables are built
 // per tenant, requests issue in arrival order under the open-loop clock
 // (arrivals never wait for completions), per-tenant admission bounds
 // in-flight slots, and every request's end-to-end latency lands in the
-// tenant's histogram. The run is single-goroutine and deterministic:
+// tenant's histogram. With Config.Resilience set, requests past their
+// deadline are shed, faulting queries are retried and then failed over
+// to the safety-net backend, and a circuit breaker routes around a
+// rotten primary. The run is single-goroutine and deterministic:
 // identical (backend state, cfg, reqs) yield identical reports.
 func Run(b Backend, cfg Config, reqs []Request) (*Report, error) {
+	s, err := newServer(b, cfg, reqs)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(reqs)
+}
+
+// newServer validates the config, builds the per-tenant tables, and
+// assembles the run state.
+func newServer(b Backend, cfg Config, reqs []Request) (*server, error) {
 	if err := cfg.Gen.Validate(); err != nil {
 		return nil, err
 	}
@@ -153,186 +222,389 @@ func Run(b Backend, cfg Config, reqs []Request) (*Report, error) {
 	if slots <= 0 {
 		slots = b.Capacity() / tenants
 	}
-	adm := NewAdmission(tenants, slots)
-	acct := make([]tenantAcct, tenants)
-	var total, wtotal LatencyHist
-	var rep Report
+	s := &server{
+		b:      b,
+		mut:    mut,
+		cfg:    cfg,
+		res:    cfg.Resilience,
+		tables: tables,
+		adm:    NewAdmission(tenants, slots),
+		acct:   make([]tenantAcct, tenants),
+		rep:    &Report{},
+	}
+	if s.res != nil && s.res.Failover != nil && !s.res.Breaker.Disabled {
+		s.brk = NewBreaker(s.res.Breaker)
+	}
 	if cfg.KeepResults {
-		rep.Results = make([]Result, len(reqs))
+		s.rep.Results = make([]Result, len(reqs))
 	}
-	registerMetrics(cfg.Metrics, adm, acct, &total, &wtotal)
+	s.registerMetrics(cfg.Metrics)
+	return s, nil
+}
 
-	retire := func(q inflight, res Result) {
-		lat := uint64(0)
-		if res.Done > q.at {
-			lat = res.Done - q.at
+func (s *server) run(reqs []Request) (*Report, error) {
+	for i := range reqs {
+		if err := s.serve(&reqs[i]); err != nil {
+			return nil, err
 		}
-		a := &acct[q.tenant]
-		a.hist.Observe(lat)
-		total.Observe(lat)
-		a.requests++
-		if res.Found {
-			a.found++
-		}
-		if res.Err != nil {
-			a.faults++
-		}
-		if cfg.SLO > 0 && lat > cfg.SLO {
-			a.sloViol++
-		}
-		if cfg.KeepResults && q.seq >= 0 && q.seq < len(rep.Results) {
-			rep.Results[q.seq] = res
-		}
-		adm.Release(q.tenant)
 	}
+	for len(s.queue) > 0 {
+		if err := s.waitOne(0); err != nil {
+			return nil, err
+		}
+	}
+	// A breaker still degraded at end of run closes its trace span at
+	// the final clock.
+	if s.degradedSince != nil {
+		s.cfg.Trace.Span("serve", "breaker_degraded", *s.degradedSince, s.b.Now(), trace.PidServe, 0, nil)
+		s.degradedSince = nil
+	}
+	return s.report(len(reqs)), nil
+}
 
-	var queue []inflight
-	// waitOne retires queue[i], advancing the clock to its completion.
-	waitOne := func(i int) error {
-		q := queue[i]
-		res, err := b.Wait(q.h)
+// serve processes one arrival: advance the clock, drain completions,
+// then route the request — write path, shed, breaker fast-fail, or
+// admission + async issue on the primary.
+func (s *server) serve(req *Request) error {
+	if req.Tenant < 0 || req.Tenant >= len(s.tables) {
+		return fmt.Errorf("serve: request %d names tenant %d of %d", req.Seq, req.Tenant, len(s.tables))
+	}
+	if now := s.b.Now(); now < req.At {
+		s.b.Advance(req.At - now)
+	}
+	if err := s.pollRetire(); err != nil {
+		return err
+	}
+	if req.Op != OpGet {
+		return s.serveWrite(req)
+	}
+	// Deadline check at issue: the backlog ahead of this request has
+	// already burned its whole budget, so don't spend a slot on it.
+	if s.pastDeadline(req.At) {
+		s.shed(req.Tenant, req.Seq, req.At)
+		return nil
+	}
+	// Breaker fast-fail: while the primary is judged rotten, requests
+	// route to the software path wholesale. The software query is
+	// synchronous, so no admission slot is taken.
+	if s.brk != nil && !s.allowPrimary() {
+		return s.failover(req.Tenant, req.Seq, req.At, req.Key)
+	}
+	// Per-tenant admission: over-bound requests wait on their own
+	// tenant's oldest in-flight query — other tenants keep their
+	// slots — and the wait is charged to this request's latency.
+	for !s.adm.TryAcquire(req.Tenant) {
+		idx := -1
+		for j := range s.queue {
+			if s.queue[j].tenant == req.Tenant {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("serve: tenant %d over admission bound: %w", req.Tenant, ErrAdmissionStall)
+		}
+		if err := s.waitOne(idx); err != nil {
+			return err
+		}
+		if s.pastDeadline(req.At) {
+			s.shed(req.Tenant, req.Seq, req.At)
+			return nil
+		}
+	}
+	h, err := s.b.QueryAsync(s.tables[req.Tenant], req.Key)
+	for errors.Is(err, ErrBackendFull) {
+		// The shared QST is exhausted by other tenants: drain the
+		// globally oldest query and reissue.
+		if len(s.queue) == 0 {
+			s.adm.Release(req.Tenant)
+			return fmt.Errorf("serve: backend full: %w", ErrAdmissionStall)
+		}
+		if werr := s.waitOne(0); werr != nil {
+			return werr
+		}
+		if s.pastDeadline(req.At) {
+			s.adm.Release(req.Tenant)
+			s.shed(req.Tenant, req.Seq, req.At)
+			return nil
+		}
+		h, err = s.b.QueryAsync(s.tables[req.Tenant], req.Key)
+	}
+	if err != nil {
+		return fmt.Errorf("serve: request %d issue: %w", req.Seq, err)
+	}
+	s.queue = append(s.queue, inflight{tenant: req.Tenant, seq: req.Seq, at: req.At, key: req.Key, h: h})
+	return nil
+}
+
+// serveWrite applies one mutation. Writes apply immediately in
+// software, bypassing QST admission: the mutator runs on the host while
+// earlier lookups stay in flight (epoch reclamation keeps them
+// consistent). The mutation routine's execution time advances the clock
+// and is charged to this request's write latency. Writes are never shed
+// — dropping state the rest of the stream depends on is not "degraded
+// but correct".
+func (s *server) serveWrite(req *Request) error {
+	var res Result
+	switch req.Op {
+	case OpPut:
+		if err := s.mut.Insert(s.tables[req.Tenant], req.Key, req.Value); err != nil {
+			return fmt.Errorf("serve: request %d put: %w", req.Seq, err)
+		}
+		res = Result{Found: true, Value: req.Value}
+	case OpDel:
+		ok, err := s.mut.Delete(s.tables[req.Tenant], req.Key)
+		if err != nil {
+			return fmt.Errorf("serve: request %d del: %w", req.Seq, err)
+		}
+		res = Result{Found: ok}
+	default:
+		return fmt.Errorf("serve: request %d has unknown op %q", req.Seq, req.Op)
+	}
+	s.b.Advance(s.cfg.writeCost())
+	res.Done = s.b.Now()
+	lat := uint64(0)
+	if res.Done > req.At {
+		lat = res.Done - req.At
+	}
+	a := &s.acct[req.Tenant]
+	a.writes++
+	a.whist.Observe(lat)
+	s.wtotal.Observe(lat)
+	if s.cfg.SLO > 0 && lat > s.cfg.SLO {
+		a.sloViol++
+	}
+	s.keepResult(req.Seq, res)
+	return nil
+}
+
+// waitOne retires queue[i], advancing the clock to its completion (and
+// walking the resilience ladder if it faulted).
+func (s *server) waitOne(i int) error {
+	q := s.queue[i]
+	s.queue = append(s.queue[:i], s.queue[i+1:]...)
+	res, err := s.b.Wait(q.h)
+	if err != nil {
+		return fmt.Errorf("serve: request %d: %w", q.seq, err)
+	}
+	return s.finish(q, res)
+}
+
+// pollRetire retires everything already complete at the current clock,
+// without advancing it. Completions are collected first and finished
+// after the scan: finish may requeue a retry, which would otherwise
+// clobber the in-place compaction.
+func (s *server) pollRetire() error {
+	kept := s.queue[:0]
+	var done []inflight
+	var results []Result
+	for _, q := range s.queue {
+		res, err := s.b.Poll(q.h)
+		if errors.Is(err, ErrPending) {
+			kept = append(kept, q)
+			continue
+		}
 		if err != nil {
 			return fmt.Errorf("serve: request %d: %w", q.seq, err)
 		}
-		retire(q, res)
-		queue = append(queue[:i], queue[i+1:]...)
+		done = append(done, q)
+		results = append(results, res)
+	}
+	s.queue = kept
+	for i := range done {
+		if err := s.finish(done[i], results[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finish settles one completed primary execution. Clean results retire;
+// faulting ones walk the resilience ladder — shed if the deadline has
+// passed, retried on the primary while attempts remain and the breaker
+// is closed, then failed over to the safety-net backend (or retired
+// with their fault when there is none).
+func (s *server) finish(q inflight, res Result) error {
+	s.recordPrimary(res.Err == nil)
+	if res.Err == nil || s.res == nil {
+		s.adm.Release(q.tenant)
+		s.retire(q.tenant, q.seq, q.at, res)
 		return nil
 	}
-	// pollRetire retires everything already complete at the current
-	// clock, without advancing it.
-	pollRetire := func() error {
-		kept := queue[:0]
-		for _, q := range queue {
-			res, err := b.Poll(q.h)
-			if errors.Is(err, ErrPending) {
-				kept = append(kept, q)
-				continue
-			}
-			if err != nil {
-				return fmt.Errorf("serve: request %d: %w", q.seq, err)
-			}
-			retire(q, res)
-		}
-		queue = kept
+	if s.pastDeadline(q.at) {
+		s.adm.Release(q.tenant)
+		s.shed(q.tenant, q.seq, q.at)
 		return nil
 	}
-
-	for i := range reqs {
-		req := &reqs[i]
-		if req.Tenant < 0 || req.Tenant >= tenants {
-			return nil, fmt.Errorf("serve: request %d names tenant %d of %d", req.Seq, req.Tenant, tenants)
+	if q.attempt < s.res.maxRetries() && (s.brk == nil || s.brk.State() == BreakerClosed) {
+		// Back off on the shared clock — the pause is charged to this
+		// request and everything queued behind it — then reissue on the
+		// slot the request still holds.
+		s.b.Advance(s.res.retryBackoff(q.attempt))
+		h, err := s.b.QueryAsync(s.tables[q.tenant], q.key)
+		if err == nil {
+			s.acct[q.tenant].retries++
+			s.queue = append(s.queue, inflight{tenant: q.tenant, seq: q.seq, at: q.at, key: q.key, attempt: q.attempt + 1, h: h})
+			return nil
 		}
-		if now := b.Now(); now < req.At {
-			b.Advance(req.At - now)
+		if !errors.Is(err, ErrBackendFull) {
+			s.adm.Release(q.tenant)
+			return fmt.Errorf("serve: request %d retry: %w", q.seq, err)
 		}
-		if err := pollRetire(); err != nil {
-			return nil, err
-		}
-		// Writes apply immediately in software, bypassing QST admission:
-		// the mutator runs on the host while earlier lookups stay in
-		// flight (epoch reclamation keeps them consistent). The mutation
-		// routine's execution time advances the clock and is charged to
-		// this request's write latency.
-		if req.Op != OpGet {
-			var res Result
-			switch req.Op {
-			case OpPut:
-				if err := mut.Insert(tables[req.Tenant], req.Key, req.Value); err != nil {
-					return nil, fmt.Errorf("serve: request %d put: %w", req.Seq, err)
-				}
-				res = Result{Found: true, Value: req.Value}
-			case OpDel:
-				ok, err := mut.Delete(tables[req.Tenant], req.Key)
-				if err != nil {
-					return nil, fmt.Errorf("serve: request %d del: %w", req.Seq, err)
-				}
-				res = Result{Found: ok}
-			default:
-				return nil, fmt.Errorf("serve: request %d has unknown op %q", req.Seq, req.Op)
-			}
-			b.Advance(cfg.writeCost())
-			res.Done = b.Now()
-			lat := uint64(0)
-			if res.Done > req.At {
-				lat = res.Done - req.At
-			}
-			a := &acct[req.Tenant]
-			a.writes++
-			a.whist.Observe(lat)
-			wtotal.Observe(lat)
-			if cfg.SLO > 0 && lat > cfg.SLO {
-				a.sloViol++
-			}
-			if cfg.KeepResults && req.Seq >= 0 && req.Seq < len(rep.Results) {
-				rep.Results[req.Seq] = res
-			}
-			continue
-		}
-		// Per-tenant admission: over-bound requests wait on their own
-		// tenant's oldest in-flight query — other tenants keep their
-		// slots — and the wait is charged to this request's latency.
-		for !adm.TryAcquire(req.Tenant) {
-			idx := -1
-			for j := range queue {
-				if queue[j].tenant == req.Tenant {
-					idx = j
-					break
-				}
-			}
-			if idx < 0 {
-				return nil, fmt.Errorf("serve: tenant %d over admission bound with nothing in flight", req.Tenant)
-			}
-			if err := waitOne(idx); err != nil {
-				return nil, err
-			}
-		}
-		h, err := b.QueryAsync(tables[req.Tenant], req.Key)
-		for errors.Is(err, ErrBackendFull) {
-			// The shared QST is exhausted by other tenants: drain the
-			// globally oldest query and reissue.
-			if len(queue) == 0 {
-				return nil, fmt.Errorf("serve: backend full with nothing in flight")
-			}
-			if werr := waitOne(0); werr != nil {
-				return nil, werr
-			}
-			h, err = b.QueryAsync(tables[req.Tenant], req.Key)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("serve: request %d issue: %w", req.Seq, err)
-		}
-		queue = append(queue, inflight{tenant: req.Tenant, seq: req.Seq, at: req.At, h: h})
+		// Every QST entry is occupied: skip the retry and degrade now
+		// rather than stalling the pipeline behind one request.
 	}
-	for len(queue) > 0 {
-		if err := waitOne(0); err != nil {
-			return nil, err
-		}
+	s.adm.Release(q.tenant)
+	if s.res.Failover == nil {
+		s.retire(q.tenant, q.seq, q.at, res)
+		return nil
 	}
+	return s.failover(q.tenant, q.seq, q.at, q.key)
+}
 
-	rep.Backend = b.Name()
-	rep.Requests = len(reqs)
-	rep.SlotsPerTenant = adm.Limit()
-	rep.Capacity = b.Capacity()
-	rep.MakespanCycles = b.Now()
-	st := b.Stats()
+// failover executes one request on the safety-net backend, charging the
+// full degraded latency — queueing, burned retries, and the software
+// walk — to the request.
+func (s *server) failover(tenant, seq int, at uint64, key []byte) error {
+	start := s.b.Now()
+	res, err := s.res.Failover.Query(s.tables[tenant], key)
+	if err != nil {
+		return fmt.Errorf("serve: request %d failover: %w", seq, err)
+	}
+	s.cfg.Trace.Span("serve", "failover", start, s.b.Now(), trace.PidServe, tenant, nil)
+	s.acct[tenant].failedOver++
+	s.retire(tenant, seq, at, res)
+	return nil
+}
+
+// retire folds one completed request into its tenant's accounting.
+func (s *server) retire(tenant, seq int, at uint64, res Result) {
+	lat := uint64(0)
+	if res.Done > at {
+		lat = res.Done - at
+	}
+	a := &s.acct[tenant]
+	a.hist.Observe(lat)
+	s.total.Observe(lat)
+	a.requests++
+	if res.Found {
+		a.found++
+	}
+	if res.Err != nil {
+		a.faults++
+	}
+	if s.cfg.SLO > 0 && lat > s.cfg.SLO {
+		a.sloViol++
+	}
+	s.keepResult(seq, res)
+}
+
+// shed drops one request past its deadline. Its wait so far still lands
+// in the latency histograms — excluding it would silently flatter the
+// tail the deadline was protecting.
+func (s *server) shed(tenant, seq int, at uint64) {
+	wait := uint64(0)
+	if now := s.b.Now(); now > at {
+		wait = now - at
+	}
+	a := &s.acct[tenant]
+	a.hist.Observe(wait)
+	s.total.Observe(wait)
+	a.shed++
+	s.cfg.Trace.Point("serve", "shed", s.b.Now(), trace.PidServe, tenant, nil)
+	s.keepResult(seq, Result{Done: s.b.Now()})
+}
+
+func (s *server) keepResult(seq int, res Result) {
+	if s.cfg.KeepResults && seq >= 0 && seq < len(s.rep.Results) {
+		s.rep.Results[seq] = res
+	}
+}
+
+func (s *server) pastDeadline(at uint64) bool {
+	return s.res != nil && s.res.Deadline > 0 && s.b.Now() > at+s.res.Deadline
+}
+
+// allowPrimary asks the breaker whether the arriving request may try
+// the primary, tracking state transitions for the trace span.
+func (s *server) allowPrimary() bool {
+	prev := s.brk.State()
+	ok := s.brk.Allow(s.b.Now())
+	s.breakerMoved(prev)
+	return ok
+}
+
+// recordPrimary feeds one primary outcome to the breaker.
+func (s *server) recordPrimary(ok bool) {
+	if s.brk == nil {
+		return
+	}
+	prev := s.brk.State()
+	s.brk.Record(s.b.Now(), ok)
+	s.breakerMoved(prev)
+}
+
+// breakerMoved emits trace events on breaker state transitions: a point
+// at each trip, and a span covering each full degraded (non-Closed)
+// stretch once the breaker closes again.
+func (s *server) breakerMoved(prev BreakerState) {
+	cur := s.brk.State()
+	if cur == prev {
+		return
+	}
+	now := s.b.Now()
+	if cur == BreakerOpen {
+		s.cfg.Trace.Point("serve", "breaker_trip", now, trace.PidServe, 0, nil)
+	}
+	if cur != BreakerClosed && s.degradedSince == nil {
+		at := now
+		s.degradedSince = &at
+	}
+	if cur == BreakerClosed && s.degradedSince != nil {
+		s.cfg.Trace.Span("serve", "breaker_degraded", *s.degradedSince, now, trace.PidServe, 0, nil)
+		s.degradedSince = nil
+	}
+}
+
+// report assembles the final Report from the run's accounting.
+func (s *server) report(requests int) *Report {
+	rep := s.rep
+	rep.Backend = s.b.Name()
+	rep.Requests = requests
+	rep.SlotsPerTenant = s.adm.Limit()
+	rep.Capacity = s.b.Capacity()
+	rep.MakespanCycles = s.b.Now()
+	st := s.b.Stats()
 	rep.Queries = st.Queries
 	rep.Exceptions = st.Exceptions
-	rep.Tenants = make([]TenantStats, tenants)
-	for t := range acct {
-		rep.Tenants[t] = tenantRow(t, &acct[t], adm.Throttled(t))
+	rep.Tenants = make([]TenantStats, len(s.acct))
+	for t := range s.acct {
+		rep.Tenants[t] = tenantRow(t, &s.acct[t], s.adm.Throttled(t))
 	}
-	agg := tenantAcct{hist: total, whist: wtotal}
+	agg := tenantAcct{hist: s.total, whist: s.wtotal}
 	var thrTotal uint64
-	for t := range acct {
-		agg.requests += acct[t].requests
-		agg.writes += acct[t].writes
-		agg.found += acct[t].found
-		agg.faults += acct[t].faults
-		agg.sloViol += acct[t].sloViol
-		thrTotal += adm.Throttled(t)
+	for t := range s.acct {
+		a := &s.acct[t]
+		agg.requests += a.requests
+		agg.writes += a.writes
+		agg.found += a.found
+		agg.faults += a.faults
+		agg.sloViol += a.sloViol
+		agg.shed += a.shed
+		agg.retries += a.retries
+		agg.failedOver += a.failedOver
+		thrTotal += s.adm.Throttled(t)
 	}
 	rep.Total = tenantRow(-1, &agg, thrTotal)
-	return &rep, nil
+	if s.brk != nil {
+		rep.Breaker = &BreakerReport{
+			State:     s.brk.State().String(),
+			Trips:     s.brk.Trips(),
+			FastFails: s.brk.FastFails(),
+			Probes:    s.brk.Probes(),
+		}
+	}
+	return rep
 }
 
 // tenantRow renders one accounting record as a report row.
@@ -352,37 +624,64 @@ func tenantRow(t int, a *tenantAcct, throttled uint64) TenantStats {
 		Writes:        a.writes,
 		WriteP50:      a.whist.Quantile(0.50),
 		WriteP99:      a.whist.Quantile(0.99),
+		Shed:          a.shed,
+		Retries:       a.retries,
+		FailedOver:    a.failedOver,
 	}
 }
 
 // registerMetrics publishes the serving counters into the simulator
 // registry (nil-safe): per-tenant request/violation/throttle counts and
-// latency percentiles under serve/tenant<N>/, aggregates under serve/.
-// Everything is pull-based (RegisterFunc), so the serving hot loop pays
-// nothing for it.
-func registerMetrics(reg *metrics.Registry, adm *Admission, acct []tenantAcct, total, wtotal *LatencyHist) {
+// latency percentiles under serve/tenant<N>/, aggregates under serve/,
+// breaker state under serve/breaker/. Everything is pull-based
+// (RegisterFunc), so the serving hot loop pays nothing for it. Note
+// serve/requests reads the aggregate histogram's population, which
+// under a resilience deadline includes shed requests (their wait is
+// observed too); completed reads alone are the per-tenant sums.
+func (s *server) registerMetrics(reg *metrics.Registry) {
 	if reg == nil {
 		return
 	}
 	sreg := reg.Scoped("serve")
-	for t := range acct {
+	for t := range s.acct {
 		t := t
-		a := &acct[t]
+		a := &s.acct[t]
 		treg := sreg.Scoped(fmt.Sprintf("tenant%d", t))
 		treg.RegisterFunc("requests", func() uint64 { return a.requests })
 		treg.RegisterFunc("writes", func() uint64 { return a.writes })
 		treg.RegisterFunc("found", func() uint64 { return a.found })
 		treg.RegisterFunc("faults", func() uint64 { return a.faults })
 		treg.RegisterFunc("slo_violations", func() uint64 { return a.sloViol })
-		treg.RegisterFunc("throttled", func() uint64 { return adm.Throttled(t) })
+		treg.RegisterFunc("throttled", func() uint64 { return s.adm.Throttled(t) })
 		treg.RegisterFunc("latency_p50", func() uint64 { return a.hist.Quantile(0.50) })
 		treg.RegisterFunc("latency_p99", func() uint64 { return a.hist.Quantile(0.99) })
 		treg.RegisterFunc("latency_p999", func() uint64 { return a.hist.Quantile(0.999) })
+		treg.RegisterFunc("shed", func() uint64 { return a.shed })
+		treg.RegisterFunc("retries", func() uint64 { return a.retries })
+		treg.RegisterFunc("failover", func() uint64 { return a.failedOver })
 	}
-	sreg.RegisterFunc("requests", func() uint64 { return total.Count() })
-	sreg.RegisterFunc("writes", func() uint64 { return wtotal.Count() })
-	sreg.RegisterFunc("latency_p50", func() uint64 { return total.Quantile(0.50) })
-	sreg.RegisterFunc("latency_p99", func() uint64 { return total.Quantile(0.99) })
-	sreg.RegisterFunc("latency_p999", func() uint64 { return total.Quantile(0.999) })
-	sreg.RegisterFunc("write_p99", func() uint64 { return wtotal.Quantile(0.99) })
+	sreg.RegisterFunc("requests", func() uint64 { return s.total.Count() })
+	sreg.RegisterFunc("writes", func() uint64 { return s.wtotal.Count() })
+	sreg.RegisterFunc("latency_p50", func() uint64 { return s.total.Quantile(0.50) })
+	sreg.RegisterFunc("latency_p99", func() uint64 { return s.total.Quantile(0.99) })
+	sreg.RegisterFunc("latency_p999", func() uint64 { return s.total.Quantile(0.999) })
+	sreg.RegisterFunc("write_p99", func() uint64 { return s.wtotal.Quantile(0.99) })
+	sreg.RegisterFunc("shed", func() uint64 { return s.sumAcct(func(a *tenantAcct) uint64 { return a.shed }) })
+	sreg.RegisterFunc("retries", func() uint64 { return s.sumAcct(func(a *tenantAcct) uint64 { return a.retries }) })
+	sreg.RegisterFunc("failover", func() uint64 { return s.sumAcct(func(a *tenantAcct) uint64 { return a.failedOver }) })
+	if s.brk != nil {
+		breg := sreg.Scoped("breaker")
+		breg.RegisterFunc("state", func() uint64 { return uint64(s.brk.State()) })
+		breg.RegisterFunc("trips", func() uint64 { return s.brk.Trips() })
+		breg.RegisterFunc("fast_fails", func() uint64 { return s.brk.FastFails() })
+		breg.RegisterFunc("probes", func() uint64 { return s.brk.Probes() })
+	}
+}
+
+func (s *server) sumAcct(f func(*tenantAcct) uint64) uint64 {
+	var n uint64
+	for t := range s.acct {
+		n += f(&s.acct[t])
+	}
+	return n
 }

@@ -7,12 +7,14 @@ package trace
 //	pid 100..199 CHA / LLC slices (PidCHA + slice index)
 //	pid 200      the mesh NoC (tid = source stop)
 //	pid 300      memory system (page mapping, DRAM)
-//	pid 400..    QST accelerator instances (PidQST + instance; tid = slot)
+//	pid 400..499 QST accelerator instances (PidQST + instance; tid = slot)
+//	pid 500      serving frontend (shed/failover/breaker; tid = tenant)
 const (
 	PidCHABase = 100
 	PidNoC     = 200
 	PidMem     = 300
 	PidQSTBase = 400
+	PidServe   = 500
 )
 
 // Tids within a core tile's pid.

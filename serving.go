@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 
 	"qei/internal/serve"
 )
@@ -266,6 +267,40 @@ type ServingConfig struct {
 	Metrics bool
 	// KeepResults retains per-request results (tests).
 	KeepResults bool
+	// Faults arms the deterministic fault-injection harness on the
+	// serving machine (WithFaultInjection semantics: seeded, counter-
+	// based, accelerator-path only — software walks stay clean). nil
+	// serves without chaos. Without Resilient, injected faults surface
+	// as per-request Result.Err and count in TenantStats.Faults.
+	Faults *FaultSpec
+	// QueryBudget arms the per-query cycle-budget watchdog
+	// (WithQueryCycleBudget): accelerator executions over budget fault
+	// with ErrQueryTimeout and enter the resilience ladder like any
+	// other fault. 0 disables the watchdog.
+	QueryBudget uint64
+	// Resilient enables the serving resilience layer: per-request
+	// deadlines with load shedding, bounded retry of faulting queries,
+	// per-request failover to the software walker, and a circuit
+	// breaker that routes around a misbehaving accelerator wholesale
+	// (serve.Resilience). Off, faults ride in the report and admission
+	// waits are unbounded, exactly as before.
+	Resilient bool
+	// Deadline is the per-request completion budget in cycles from
+	// arrival (requests past it are shed). 0 derives 4x the SLO; with
+	// the SLO also 0, shedding is off. Ignored without Resilient.
+	Deadline uint64
+	// MaxRetries and RetryBackoff tune the pre-failover retry loop
+	// (serve.Resilience semantics; zero values use the serve defaults).
+	MaxRetries   int
+	RetryBackoff uint64
+	// Breaker overrides the circuit-breaker tuning; nil uses the
+	// serve-layer defaults. Ignored without Resilient.
+	Breaker *serve.BreakerConfig
+	// Timeline, when non-empty, arms the unified cycle-stamped tracer
+	// and writes the Chrome trace-event JSON document (component tracks
+	// plus the serving track's shed/failover/breaker events) to this
+	// file after the run.
+	Timeline string
 }
 
 // DefaultServingConfig returns a small, fast serving configuration:
@@ -332,19 +367,68 @@ func ReplayServing(cfg ServingConfig, gen serve.GenConfig, reqs []serve.Request)
 	if cfg.Metrics {
 		opts = append(opts, WithMetrics())
 	}
+	if cfg.Faults != nil {
+		opts = append(opts, WithFaultInjection(*cfg.Faults))
+	}
+	if cfg.QueryBudget > 0 {
+		opts = append(opts, WithQueryCycleBudget(cfg.QueryBudget))
+	}
+	if cfg.Timeline != "" {
+		opts = append(opts, WithTimeline())
+	}
 	sys := NewSystem(cfg.Scheme, opts...)
 	backend, err := NewServingBackend(cfg.Backend, sys)
 	if err != nil {
 		return nil, err
 	}
-	return serve.Run(backend, serve.Config{
+	scfg := serve.Config{
 		Gen:            gen,
 		SlotsPerTenant: cfg.SlotsPerTenant,
 		SLO:            cfg.SLO,
 		Metrics:        sys.mreg,
+		Trace:          sys.tracer,
 		KeepResults:    cfg.KeepResults,
 		WriteCost:      cfg.WriteCost,
-	}, reqs)
+	}
+	if cfg.Resilient {
+		res := &serve.Resilience{
+			Deadline:     cfg.Deadline,
+			MaxRetries:   cfg.MaxRetries,
+			RetryBackoff: cfg.RetryBackoff,
+		}
+		if res.Deadline == 0 && cfg.SLO > 0 {
+			res.Deadline = 4 * cfg.SLO
+		}
+		if cfg.Breaker != nil {
+			res.Breaker = *cfg.Breaker
+		}
+		// The safety net is the software walker over the same machine:
+		// tables the primary built are queried directly, on the shared
+		// clock. A baseline primary is its own safety net — it still
+		// gets deadlines and shedding, but failover would be a no-op.
+		if cfg.Backend != "baseline" {
+			fo, err := NewServingBackend("baseline", sys)
+			if err != nil {
+				return nil, err
+			}
+			res.Failover = fo
+		}
+		scfg.Resilience = res
+	}
+	rep, err := serve.Run(backend, scfg, reqs)
+	if err != nil {
+		return nil, err
+	}
+	// Machine-level outcomes the serving layer cannot see: chaos volume
+	// and the epoch GC's read-after-retire count (always asserted 0).
+	rep.FaultsInjected = sys.FaultsInjected()
+	rep.EpochViolations = sys.EpochViolations()
+	if cfg.Timeline != "" {
+		if err := os.WriteFile(cfg.Timeline, []byte(sys.ExportTrace()), 0o644); err != nil {
+			return nil, fmt.Errorf("qei: serving timeline: %w", err)
+		}
+	}
+	return rep, nil
 }
 
 // ServingPercentiles is the "serving" experiment: the same seeded

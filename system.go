@@ -712,6 +712,16 @@ func (s *System) EpochStats() epoch.Stats {
 	return s.gc.Stats()
 }
 
+// EpochViolations reports the epoch GC's read-after-retire violation
+// count: queries that dereferenced a reclaimed extent. It is asserted
+// zero everywhere; a system that never built a mutable table reports 0.
+func (s *System) EpochViolations() uint64 {
+	if s.gc == nil {
+		return 0
+	}
+	return s.gc.Violations()
+}
+
 // pinQuery pins the current epoch on behalf of a query being admitted;
 // it is a no-op (returning false) without an epoch domain.
 func (s *System) pinQuery() (uint64, bool) {
