@@ -42,6 +42,63 @@ func BenchmarkEndToEndQEI(b *testing.B) {
 	}
 }
 
+// benchBatchSetup builds the batch benchmarks' shared fixture: a
+// 4096-key B+ tree and a shuffled 64-probe set with duplicates and
+// misses (the level-wise engine's acceptance workload).
+func benchBatchSetup(b *testing.B) (*System, Table, [][]byte) {
+	b.Helper()
+	keys, vals := batchGenKeys(4096, 16, 42)
+	absent, _ := batchGenKeys(64, 16, 43)
+	probes := batchProbeSet(keys, absent, 64, 44)
+	s := NewSystem(CoreIntegrated)
+	tb, err := s.Build(KindBTree, keys, vals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, tb, probes
+}
+
+// BenchmarkQueryBatch runs a 64-key batch through the level-wise
+// engine — the batched hot path the BENCH_guard envelope pins.
+func BenchmarkQueryBatch(b *testing.B) {
+	b.ReportAllocs()
+	s, tb, probes := benchBatchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.QueryBatch(tb, probes, WithBatchMode(BatchLevelWise)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryBatchWindowed runs the identical batch on the windowed
+// non-blocking path, for side-by-side wall-clock comparison.
+func BenchmarkQueryBatchWindowed(b *testing.B) {
+	b.ReportAllocs()
+	s, tb, probes := benchBatchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.QueryBatch(tb, probes, WithBatchMode(BatchWindowed)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryBatchPerQuery runs the identical probes as sequential
+// blocking queries — the unbatched reference.
+func BenchmarkQueryBatchPerQuery(b *testing.B) {
+	b.ReportAllocs()
+	s, tb, probes := benchBatchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range probes {
+			if _, err := s.Query(tb, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkEndToEndBench runs one full cell of the "bench" experiment
 // matrix — baseline plus every integration scheme — exactly as
 // qeibench -exp bench does, on one workload.

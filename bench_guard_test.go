@@ -45,6 +45,7 @@ func TestBenchGuard(t *testing.T) {
 		"BenchmarkEndToEndBaseline": BenchmarkEndToEndBaseline,
 		"BenchmarkEndToEndQEI":      BenchmarkEndToEndQEI,
 		"BenchmarkEndToEndBench":    BenchmarkEndToEndBench,
+		"BenchmarkQueryBatch":       BenchmarkQueryBatch,
 	}
 	for name, fn := range benches {
 		limit, ok := envelope[name]

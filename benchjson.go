@@ -45,6 +45,9 @@ type BenchResult struct {
 	// when zero to keep old files parseable.
 	WallNanos         int64 `json:"wall_ns,omitempty"`
 	BaselineWallNanos int64 `json:"baseline_wall_ns,omitempty"`
+	// Allocs records host heap allocations during the accelerated run —
+	// host-dependent like the wall-clock fields (batch records carry it).
+	Allocs uint64 `json:"allocs,omitempty"`
 }
 
 // clearWallClock zeroes the host-dependent fields of r so the remaining
@@ -52,6 +55,7 @@ type BenchResult struct {
 func clearWallClock(r *BenchResult) {
 	r.WallNanos = 0
 	r.BaselineWallNanos = 0
+	r.Allocs = 0
 }
 
 // benchCounters is the metric subset copied into each BenchResult: the

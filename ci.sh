@@ -116,6 +116,37 @@ if [ "$res_live" != "$res_replay" ]; then
 	exit 1
 fi
 
+# Batch smoke: the level-wise batch demo parity-checks every kind
+# against the per-query path (qeibench exits non-zero on any
+# divergence) and must amortize real work — a zero translations-saved
+# counter means the level-wise grouping did nothing. Then a batched-
+# admission serving run must flush through the engine and retire every
+# request (qeiserve exits non-zero on epoch violations).
+batch_out=$(go run ./cmd/qeibench -batch 64 -scale small)
+case "$batch_out" in
+*'batch/translations_saved 0 '*)
+	echo "batch-smoke: level-wise engine saved zero translations" >&2
+	exit 1
+	;;
+*'batch/translations_saved '*) ;;
+*)
+	echo "batch-smoke: missing batch/translations_saved counter line" >&2
+	exit 1
+	;;
+esac
+bserve_out=$(go run ./cmd/qeiserve -batchmode -tenants 2 -requests 80 -keys 64)
+case "$bserve_out" in
+*'batch/batches 0 '*)
+	echo "batch-smoke: batched admission flushed no batches" >&2
+	exit 1
+	;;
+*'batch/batches '*) ;;
+*)
+	echo "batch-smoke: missing batch/batches counter line in qeiserve output" >&2
+	exit 1
+	;;
+esac
+
 # DSE smoke: a tiny 2x2 design-space sweep must produce a non-empty
 # Pareto frontier, and the serial sweep must be byte-identical to the
 # parallel one (the determinism contract of internal/dse).

@@ -11,7 +11,7 @@
 //	         [-keyzipf S] [-gap CYCLES] [-slo CYCLES] [-slots N]
 //	         [-writes F] [-delfrac F] [-writecost CYCLES]
 //	         [-faults SPEC] [-resilient] [-deadline CYCLES] [-retries N]
-//	         [-budget CYCLES] [-timeline FILE]
+//	         [-budget CYCLES] [-timeline FILE] [-batchmode [-batchadmit N]]
 //	         [-seed N] [-scheme core|cha-tlb|...] [-machine preset|file.json]
 //	         [-genparallel N] [-record FILE | -replay FILE] [-json]
 //	qeiserve -stream [-kind btree] [-writes 0.3] [-requests N] [-keys N]
@@ -44,6 +44,13 @@
 // exits non-zero on any read-after-retire epoch violation. -timeline
 // writes the unified cycle-stamped Chrome trace (including the serving
 // track's shed/failover/breaker events) after each run.
+//
+// -batchmode turns on batched admission (qei backend only): lookups
+// buffer per tenant and flush through the level-wise batch engine in
+// groups of up to -batchadmit keys; a tenant's buffer also flushes
+// before its writes and at end of stream. A greppable "batch ..."
+// counter line (flush counts plus the engine's amortization counters)
+// follows each text report.
 //
 // -stream switches to the single-table streaming consistency harness
 // (internal/stream): one mutable structure under a seeded mixed
@@ -116,6 +123,8 @@ func main() {
 	retriesFlag := flag.Int("retries", 0, "primary-backend retries before failover; 0 = default, negative = none")
 	budgetFlag := flag.Uint64("budget", 0, "per-query cycle-budget watchdog; 0 = off")
 	timelineFlag := flag.String("timeline", "", "write the unified Chrome trace-event timeline to this file")
+	batchModeFlag := flag.Bool("batchmode", false, "batched admission: buffer lookups per tenant and flush them through the level-wise batch engine (qei backend only)")
+	batchAdmitFlag := flag.Int("batchadmit", 16, "lookups buffered per tenant before a batch flush (with -batchmode)")
 	streamFlag := flag.Bool("stream", false, "run the streaming consistency harness instead of the serving frontend")
 	seedFlag := flag.Int64("seed", def.Seed, "stream and machine seed")
 	schemeFlag := flag.String("scheme", "core", "integration scheme: core, cha-tlb, cha-notlb, device-direct, device-indirect")
@@ -172,6 +181,16 @@ func main() {
 			fail("-machine: %v", err)
 		}
 		cfg.Machine = &spec
+	}
+
+	if *batchModeFlag {
+		if *backendFlag != "qei" {
+			fail("-batchmode requires the qei backend (the software walker has no batch path)")
+		}
+		if *batchAdmitFlag < 2 {
+			fail("-batchadmit must be >= 2, got %d", *batchAdmitFlag)
+		}
+		cfg.BatchAdmit = *batchAdmitFlag
 	}
 
 	if *streamFlag {
@@ -283,6 +302,12 @@ func main() {
 				}
 				fmt.Printf("%8s %9d %9d %9d\n", tenant, ts.Writes, ts.WriteP50, ts.WriteP99)
 			}
+		}
+		if rep.Batch != nil {
+			fmt.Printf("batch admit %d batch/batches %d batch/batched_reads %d batch/levels %d batch/translations_saved %d batch/coalesced_probes %d batch/deferred %d\n",
+				cfg.BatchAdmit, rep.Batch.Batches, rep.Batch.BatchedReads,
+				rep.Batch.Levels, rep.Batch.TranslationsSaved,
+				rep.Batch.CoalescedProbes, rep.Batch.Deferred)
 		}
 		if *resilientFlag || cfg.Faults != nil {
 			state := "off"

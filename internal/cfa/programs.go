@@ -198,36 +198,13 @@ func (p CuckooProgram) Step(q *Query, state StateID) Request {
 		// so the probes proceed in parallel, as HALO's and DPDK's own
 		// two-choice lookups do. Schemes without remote comparators
 		// fetch the buckets instead (the engine decides).
-		findIn := func(base mem.VAddr) (uint64, bool, error) {
-			occOff, valOff, keyOff := dstruct.CuckooEntryFieldOffsets()
-			entrySize := dstruct.CuckooEntrySize(int(q.Header.KeyLen))
-			for s := 0; s < int(q.Header.Subtype); s++ {
-				ea := base + mem.VAddr(uint64(s)*entrySize)
-				occ, err := q.AS.ReadU64(ea + mem.VAddr(occOff))
-				if err != nil {
-					return 0, false, err
-				}
-				if occ&1 == 0 {
-					continue
-				}
-				stored := make([]byte, q.Header.KeyLen)
-				if err := q.AS.Read(ea+mem.VAddr(keyOff), stored); err != nil {
-					return 0, false, err
-				}
-				if bytes.Equal(stored, q.Key) {
-					v, err := q.AS.ReadU64(ea + mem.VAddr(valOff))
-					return v, err == nil, err
-				}
-			}
-			return 0, false, nil
-		}
 		ops := []Op{Compare(q.Node, bucketBytes), Compare(q.AltNode, bucketBytes)}
-		v, found, err := findIn(q.Node)
+		v, found, err := cuckooFindIn(q, q.Node)
 		if err != nil {
 			return Fail(err)
 		}
 		if !found {
-			v, found, err = findIn(q.AltNode)
+			v, found, err = cuckooFindIn(q, q.AltNode)
 			if err != nil {
 				return Fail(err)
 			}

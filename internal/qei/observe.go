@@ -37,6 +37,13 @@ func (a *Accelerator) RegisterMetrics(r *metrics.Registry) {
 	q.RegisterFunc("qst/occupancy_milli", func() uint64 { return uint64(a.stats.Occupancy() * 1000) })
 	q.RegisterFunc("translation_cycles", func() uint64 { return a.stats.TranslationCycles })
 	q.RegisterFunc("data_access_cycles", func() uint64 { return a.stats.DataAccessCycles })
+	q.RegisterFunc("batch/batches", func() uint64 { return a.stats.BatchBatches })
+	q.RegisterFunc("batch/queries", func() uint64 { return a.stats.BatchQueries })
+	q.RegisterFunc("batch/levels", func() uint64 { return a.stats.BatchLevels })
+	q.RegisterFunc("batch/translations_saved", func() uint64 { return a.stats.BatchTranslationsSaved })
+	q.RegisterFunc("batch/lines_deduped", func() uint64 { return a.stats.BatchLinesDeduped })
+	q.RegisterFunc("batch/coalesced_probes", func() uint64 { return a.stats.BatchCoalescedProbes })
+	q.RegisterFunc("batch/deferred", func() uint64 { return a.stats.BatchDeferred })
 
 	a.remoteOps = make([]*metrics.Counter, len(a.remoteComp))
 	for i := range a.remoteOps {

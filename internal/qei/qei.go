@@ -99,6 +99,22 @@ type Stats struct {
 	TranslationCycles uint64
 	// DataAccessCycles sums data-path latency charged.
 	DataAccessCycles uint64
+	// Level-wise batch engine counters (ExecuteBatch).
+	BatchBatches uint64 // batched instructions executed
+	BatchQueries uint64 // queries resolved inside a batch
+	BatchLevels  uint64 // level-wise rounds executed
+	// BatchTranslationsSaved counts per-query page touches that reused a
+	// translation another query in the batch already paid for.
+	BatchTranslationsSaved uint64
+	// BatchLinesDeduped counts node-line fetches coalesced because
+	// another query needed the same line in the same round.
+	BatchLinesDeduped uint64
+	// BatchCoalescedProbes counts duplicate keys folded onto a
+	// representative walk instead of probing on their own.
+	BatchCoalescedProbes uint64
+	// BatchDeferred counts queries the batch engine handed back to the
+	// per-query path (faults, watchdog, structural anomalies).
+	BatchDeferred uint64
 }
 
 // Occupancy returns the average number of busy QST entries over the
@@ -136,6 +152,14 @@ func (s Stats) Sub(prev Stats) Stats {
 		DataAccessCycles:  s.DataAccessCycles - prev.DataAccessCycles,
 		FirstIssue:        prev.LastFinish,
 		LastFinish:        s.LastFinish,
+
+		BatchBatches:           s.BatchBatches - prev.BatchBatches,
+		BatchQueries:           s.BatchQueries - prev.BatchQueries,
+		BatchLevels:            s.BatchLevels - prev.BatchLevels,
+		BatchTranslationsSaved: s.BatchTranslationsSaved - prev.BatchTranslationsSaved,
+		BatchLinesDeduped:      s.BatchLinesDeduped - prev.BatchLinesDeduped,
+		BatchCoalescedProbes:   s.BatchCoalescedProbes - prev.BatchCoalescedProbes,
+		BatchDeferred:          s.BatchDeferred - prev.BatchDeferred,
 	}
 	return d
 }

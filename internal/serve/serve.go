@@ -131,6 +131,17 @@ type Backend interface {
 	Stats() Stats
 }
 
+// BatchBackend is the optional batched-read extension of Backend: a
+// backend whose platform has a batched query path (the level-wise
+// engine under qei.System.QueryBatch) implements it, and the server
+// uses it only when Config.BatchAdmit enables batched admission. The
+// call is synchronous — it advances the backend clock to the batch's
+// completion — and returns one Result per key, in key order, with
+// per-query faults in Result.Err.
+type BatchBackend interface {
+	QueryBatch(t Table, keys [][]byte) ([]Result, error)
+}
+
 // Mutator is the optional write-path extension of Backend: a backend
 // that also supports software mutations implements it, and the server
 // requires it only when the request stream actually contains writes —

@@ -43,6 +43,16 @@ type Config struct {
 	// retire with their error, admission waits are unbounded, and the
 	// report carries none of the resilience fields.
 	Resilience *Resilience
+	// BatchAdmit, when > 1, turns on batched admission: lookups buffer
+	// per tenant and flush through the backend's BatchBackend path in
+	// groups of up to BatchAdmit keys. A tenant's buffer also flushes
+	// before any of its writes (so reads issued before a write never
+	// observe it) and at end of stream. Batched lookups bypass QST slot
+	// admission, retry, and the breaker — the batch engine defers
+	// faulting queries to the per-query path internally — but the
+	// deadline shed still applies at arrival. Requires the backend to
+	// implement BatchBackend.
+	BatchAdmit int
 }
 
 // defaultWriteCost approximates a software insert/delete's execution
@@ -105,6 +115,11 @@ type Report struct {
 	// Breaker summarizes the primary-path circuit breaker; nil when the
 	// resilience layer (or its breaker) is off.
 	Breaker *BreakerReport `json:"breaker,omitempty"`
+	// Batch summarizes batched admission; nil unless Config.BatchAdmit
+	// enabled it. The server fills Batches/BatchedReads; the engine-side
+	// amortization counters are stamped by the qei layer from the
+	// accelerator's stats.
+	Batch *BatchReport `json:"batch,omitempty"`
 	// FaultsInjected and EpochViolations are stamped by the qei layer
 	// (RunServing/ReplayServing) when fault injection or epoch
 	// reclamation are armed on the machine; zero otherwise.
@@ -113,6 +128,22 @@ type Report struct {
 	// Results holds per-request results by Seq when Config.KeepResults
 	// was set; excluded from JSON output.
 	Results []Result `json:"-"`
+}
+
+// BatchReport summarizes one run's batched admission: how the stream
+// was grouped (server-side) and what the level-wise engine amortized
+// (stamped by the qei layer from accelerator stats).
+type BatchReport struct {
+	// Batches and BatchedReads count the server-side grouping: flushes
+	// issued and lookups they carried.
+	Batches      uint64 `json:"batches"`
+	BatchedReads uint64 `json:"batched_reads"`
+	// Engine-side amortization counters, zero unless the qei layer
+	// stamps them after the run.
+	Levels            uint64 `json:"levels,omitempty"`
+	TranslationsSaved uint64 `json:"translations_saved,omitempty"`
+	CoalescedProbes   uint64 `json:"coalesced_probes,omitempty"`
+	Deferred          uint64 `json:"deferred,omitempty"`
 }
 
 // tenantAcct is the per-tenant accounting the server keeps while a run
@@ -128,6 +159,13 @@ type tenantAcct struct {
 	shed       uint64
 	retries    uint64
 	failedOver uint64
+}
+
+// pendingGet is one lookup buffered for batched admission.
+type pendingGet struct {
+	seq int
+	at  uint64
+	key []byte
 }
 
 // inflight is one issued-but-unretired request.
@@ -158,6 +196,13 @@ type server struct {
 	wtotal LatencyHist
 	queue  []inflight
 	rep    *Report
+
+	// Batched admission state (Config.BatchAdmit > 1): the batch-capable
+	// backend view, per-tenant pending lookups, and flush counters.
+	bb           BatchBackend
+	pending      [][]pendingGet
+	batches      uint64
+	batchedReads uint64
 
 	// degradedSince is the cycle the breaker last left Closed, for the
 	// breaker-degraded trace span; nil while Closed.
@@ -235,6 +280,15 @@ func newServer(b Backend, cfg Config, reqs []Request) (*server, error) {
 	if s.res != nil && s.res.Failover != nil && !s.res.Breaker.Disabled {
 		s.brk = NewBreaker(s.res.Breaker)
 	}
+	if cfg.BatchAdmit > 1 {
+		bb, ok := b.(BatchBackend)
+		if !ok {
+			return nil, fmt.Errorf("serve: batched admission needs a batch path but backend %s has none", b.Name())
+		}
+		s.bb = bb
+		s.pending = make([][]pendingGet, tenants)
+		s.rep.Batch = &BatchReport{}
+	}
 	if cfg.KeepResults {
 		s.rep.Results = make([]Result, len(reqs))
 	}
@@ -245,6 +299,13 @@ func newServer(b Backend, cfg Config, reqs []Request) (*server, error) {
 func (s *server) run(reqs []Request) (*Report, error) {
 	for i := range reqs {
 		if err := s.serve(&reqs[i]); err != nil {
+			return nil, err
+		}
+	}
+	// End of stream: flush every tenant's buffered lookups (tenant order,
+	// for determinism), then drain the async queue.
+	for t := range s.pending {
+		if err := s.flushBatch(t); err != nil {
 			return nil, err
 		}
 	}
@@ -276,12 +337,29 @@ func (s *server) serve(req *Request) error {
 		return err
 	}
 	if req.Op != OpGet {
+		// Read-your-writes under batching: lookups this tenant buffered
+		// before the write must execute against the pre-write structure,
+		// so its buffer flushes first.
+		if s.bb != nil {
+			if err := s.flushBatch(req.Tenant); err != nil {
+				return err
+			}
+		}
 		return s.serveWrite(req)
 	}
 	// Deadline check at issue: the backlog ahead of this request has
 	// already burned its whole budget, so don't spend a slot on it.
 	if s.pastDeadline(req.At) {
 		s.shed(req.Tenant, req.Seq, req.At)
+		return nil
+	}
+	// Batched admission: buffer the lookup and flush the tenant's group
+	// through the level-wise engine once it reaches BatchAdmit keys.
+	if s.bb != nil {
+		s.pending[req.Tenant] = append(s.pending[req.Tenant], pendingGet{seq: req.Seq, at: req.At, key: req.Key})
+		if len(s.pending[req.Tenant]) >= s.cfg.BatchAdmit {
+			return s.flushBatch(req.Tenant)
+		}
 		return nil
 	}
 	// Breaker fast-fail: while the primary is judged rotten, requests
@@ -334,6 +412,43 @@ func (s *server) serve(req *Request) error {
 		return fmt.Errorf("serve: request %d issue: %w", req.Seq, err)
 	}
 	s.queue = append(s.queue, inflight{tenant: req.Tenant, seq: req.Seq, at: req.At, key: req.Key, h: h})
+	return nil
+}
+
+// flushBatch executes one tenant's buffered lookups as a single batch
+// on the backend's batched path and retires every one of them. The
+// batch runs synchronously — the backend clock advances to the batch's
+// completion — so a buffered request's latency spans from its arrival
+// to the whole group's finish: the batching wait is charged, not
+// hidden.
+func (s *server) flushBatch(tenant int) error {
+	pend := s.pending[tenant]
+	if len(pend) == 0 {
+		return nil
+	}
+	s.pending[tenant] = nil
+	keys := make([][]byte, len(pend))
+	for i := range pend {
+		keys[i] = pend[i].key
+	}
+	start := s.b.Now()
+	rs, err := s.bb.QueryBatch(s.tables[tenant], keys)
+	if err != nil {
+		return fmt.Errorf("serve: tenant %d batch flush: %w", tenant, err)
+	}
+	if len(rs) != len(pend) {
+		return fmt.Errorf("serve: tenant %d batch flush: %d results for %d keys", tenant, len(rs), len(pend))
+	}
+	s.cfg.Trace.Span("serve", fmt.Sprintf("batch_flush/%d", len(pend)), start, s.b.Now(), trace.PidServe, tenant, nil)
+	s.batches++
+	s.batchedReads += uint64(len(pend))
+	for i := range pend {
+		res := rs[i]
+		if res.Done == 0 {
+			res.Done = s.b.Now()
+		}
+		s.retire(tenant, pend[i].seq, pend[i].at, res)
+	}
 	return nil
 }
 
@@ -596,6 +711,10 @@ func (s *server) report(requests int) *Report {
 		thrTotal += s.adm.Throttled(t)
 	}
 	rep.Total = tenantRow(-1, &agg, thrTotal)
+	if rep.Batch != nil {
+		rep.Batch.Batches = s.batches
+		rep.Batch.BatchedReads = s.batchedReads
+	}
 	if s.brk != nil {
 		rep.Breaker = &BreakerReport{
 			State:     s.brk.State().String(),
@@ -669,6 +788,11 @@ func (s *server) registerMetrics(reg *metrics.Registry) {
 	sreg.RegisterFunc("shed", func() uint64 { return s.sumAcct(func(a *tenantAcct) uint64 { return a.shed }) })
 	sreg.RegisterFunc("retries", func() uint64 { return s.sumAcct(func(a *tenantAcct) uint64 { return a.retries }) })
 	sreg.RegisterFunc("failover", func() uint64 { return s.sumAcct(func(a *tenantAcct) uint64 { return a.failedOver }) })
+	if s.cfg.BatchAdmit > 1 {
+		breg := sreg.Scoped("batch")
+		breg.RegisterFunc("batches", func() uint64 { return s.batches })
+		breg.RegisterFunc("batched_reads", func() uint64 { return s.batchedReads })
+	}
 	if s.brk != nil {
 		breg := sreg.Scoped("breaker")
 		breg.RegisterFunc("state", func() uint64 { return uint64(s.brk.State()) })

@@ -153,6 +153,7 @@ func Experiments() []Experiment {
 		{Name: "serving", Title: "multi-tenant serving percentiles per backend", Run: ServingPercentiles},
 		{Name: "dse", Title: "design-space Pareto frontier", Run: DSEFrontier},
 		{Name: "streaming", Title: "epoch-consistent read-write streams", Run: StreamingConsistency},
+		{Name: "batch", Title: "level-wise vs windowed batch execution", Run: BatchSpeedup},
 		// bench must stay last: earlier entries are indexed by position in
 		// tests and scripts.
 		{Name: "bench", Title: "machine-readable benchmark matrix", Run: BenchMatrix},

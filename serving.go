@@ -146,6 +146,23 @@ func asyncResult(h AsyncHandle, res Result) serve.Result {
 	}
 }
 
+// QueryBatch runs one tenant's buffered lookups through the level-wise
+// batch engine (serve.BatchBackend). The clock advances to the batch's
+// completion; every result reports that completion cycle, since the
+// batch retires as a unit.
+func (b *qeiServeBackend) QueryBatch(t serve.Table, keys [][]byte) ([]serve.Result, error) {
+	rs, err := b.sys.QueryBatch(servingTable(t), keys, WithBatchMode(BatchLevelWise))
+	if err != nil {
+		return nil, err
+	}
+	done := b.sys.Now()
+	out := make([]serve.Result, len(rs))
+	for i, r := range rs {
+		out[i] = serve.Result{Found: r.Found, Value: r.Value, Done: done, Err: r.Err}
+	}
+	return out, nil
+}
+
 func (b *qeiServeBackend) Now() uint64      { return b.sys.Now() }
 func (b *qeiServeBackend) Advance(n uint64) { b.sys.Advance(n) }
 func (b *qeiServeBackend) Capacity() int    { return b.sys.QSTCapacity() }
@@ -256,6 +273,11 @@ type ServingConfig struct {
 	// SlotsPerTenant bounds each tenant's in-flight QST slots (<= 0
 	// derives capacity / tenants).
 	SlotsPerTenant int
+	// BatchAdmit, when > 1, turns on batched admission (serve.Config
+	// semantics): lookups buffer per tenant and flush through the
+	// level-wise batch engine in groups of up to BatchAdmit keys.
+	// Requires the "qei" backend.
+	BatchAdmit int
 	// GenWorkers parallelizes trace generation (<= 0 = GOMAXPROCS;
 	// output is byte-identical at any value).
 	GenWorkers int
@@ -389,6 +411,7 @@ func ReplayServing(cfg ServingConfig, gen serve.GenConfig, reqs []serve.Request)
 		Trace:          sys.tracer,
 		KeepResults:    cfg.KeepResults,
 		WriteCost:      cfg.WriteCost,
+		BatchAdmit:     cfg.BatchAdmit,
 	}
 	if cfg.Resilient {
 		res := &serve.Resilience{
@@ -423,6 +446,14 @@ func ReplayServing(cfg ServingConfig, gen serve.GenConfig, reqs []serve.Request)
 	// and the epoch GC's read-after-retire count (always asserted 0).
 	rep.FaultsInjected = sys.FaultsInjected()
 	rep.EpochViolations = sys.EpochViolations()
+	if rep.Batch != nil {
+		// Engine-side amortization counters the serving layer cannot see.
+		st := sys.accel.Stats()
+		rep.Batch.Levels = st.BatchLevels
+		rep.Batch.TranslationsSaved = st.BatchTranslationsSaved
+		rep.Batch.CoalescedProbes = st.BatchCoalescedProbes
+		rep.Batch.Deferred = st.BatchDeferred
+	}
 	if cfg.Timeline != "" {
 		if err := os.WriteFile(cfg.Timeline, []byte(sys.ExportTrace()), 0o644); err != nil {
 			return nil, fmt.Errorf("qei: serving timeline: %w", err)
